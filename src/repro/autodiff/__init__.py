@@ -1,0 +1,10 @@
+"""Minimal reverse-mode automatic differentiation engine.
+
+The engine backs both the supervised surrogate network used by the paper's
+model-based agent and the policy/value networks of the model-free baselines
+(A2C, PPO, TRPO).
+"""
+
+from repro.autodiff.tensor import Tensor, concatenate, stack, where
+
+__all__ = ["Tensor", "concatenate", "stack", "where"]

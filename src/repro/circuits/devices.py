@@ -1,0 +1,230 @@
+"""First-order MOSFET device model.
+
+A square-law model with weak-inversion (sub-threshold) continuation is enough
+to reproduce the qualitative sizing trade-offs the paper's agent exploits:
+transconductance rising with width and current, output resistance falling with
+current, parasitic capacitance rising with area.  The model consumes a
+(possibly PVT-derated) :class:`~repro.circuits.process.TechnologyCard`.
+
+All quantities are SI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.circuits.process import TechnologyCard
+
+DeviceType = Literal["nmos", "pmos"]
+
+#: Sub-threshold slope factor (typical 1.2-1.6).
+SUBTHRESHOLD_SLOPE_FACTOR = 1.4
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Small-signal operating point of a single MOSFET.
+
+    Attributes
+    ----------
+    ids:
+        Drain current in amperes (always positive magnitude).
+    gm:
+        Transconductance in siemens.
+    gds:
+        Output conductance in siemens (``1/ro``).
+    vov:
+        Overdrive voltage ``Vgs - Vth`` in volts (may be negative in weak
+        inversion).
+    vdsat:
+        Saturation voltage in volts.
+    cgs, cgd, cdb:
+        Small-signal capacitances in farads.
+    region:
+        ``"saturation"``, ``"triode"`` or ``"subthreshold"``.
+    """
+
+    ids: float
+    gm: float
+    gds: float
+    vov: float
+    vdsat: float
+    cgs: float
+    cgd: float
+    cdb: float
+    region: str
+
+    @property
+    def ro(self) -> float:
+        """Small-signal output resistance in ohms."""
+        return 1.0 / self.gds if self.gds > 0 else math.inf
+
+    @property
+    def gm_over_id(self) -> float:
+        """Transconductance efficiency (1/V)."""
+        return self.gm / self.ids if self.ids > 0 else 0.0
+
+
+class MOSFET:
+    """A sized MOS transistor evaluated against a technology card.
+
+    Parameters
+    ----------
+    device_type:
+        ``"nmos"`` or ``"pmos"``.
+    width, length:
+        Drawn dimensions in metres.
+    card:
+        Technology card (already PVT-derated if applicable).
+    """
+
+    def __init__(
+        self,
+        device_type: DeviceType,
+        width: float,
+        length: float,
+        card: TechnologyCard,
+    ) -> None:
+        if device_type not in ("nmos", "pmos"):
+            raise ValueError(f"device_type must be 'nmos' or 'pmos', got {device_type!r}")
+        if width <= 0 or length <= 0:
+            raise ValueError("width and length must be positive")
+        if length < card.min_length:
+            raise ValueError(
+                f"length {length:.3e} below the {card.name} minimum {card.min_length:.3e}"
+            )
+        if width < card.min_width:
+            raise ValueError(
+                f"width {width:.3e} below the {card.name} minimum {card.min_width:.3e}"
+            )
+        self.device_type = device_type
+        self.width = width
+        self.length = length
+        self.card = card
+
+    # ------------------------------------------------------------------
+    @property
+    def kp(self) -> float:
+        return self.card.kp_n if self.device_type == "nmos" else self.card.kp_p
+
+    @property
+    def vth(self) -> float:
+        return self.card.vth_n if self.device_type == "nmos" else self.card.vth_p
+
+    @property
+    def channel_length_modulation(self) -> float:
+        base = self.card.lambda_n if self.device_type == "nmos" else self.card.lambda_p
+        # Longer channels exhibit less channel-length modulation (roughly 1/L).
+        return base * (self.card.min_length / self.length)
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor ``kp * W / L``."""
+        return self.kp * self.width / self.length
+
+    @property
+    def gate_area(self) -> float:
+        return self.width * self.length
+
+    # ------------------------------------------------------------------
+    def capacitances(self) -> tuple:
+        """Return (cgs, cgd, cdb) using simple area/overlap estimates."""
+        cox_total = self.card.cox * self.gate_area
+        cgs = (2.0 / 3.0) * cox_total
+        cgd = 0.15 * cox_total
+        # Drain junction approximated as a strip of the drawn width.
+        cdb = self.card.cj * self.width * 4.0 * self.card.min_length
+        return cgs, cgd, cdb
+
+    def operating_point(self, vgs: float, vds: float, temperature_c: float = 27.0) -> OperatingPoint:
+        """Evaluate the device at the given bias.
+
+        ``vgs`` and ``vds`` are magnitudes (source-referenced for NMOS,
+        |values| for PMOS), so the same expressions serve both polarities.
+        """
+        vgs = abs(vgs)
+        vds = abs(vds)
+        vov = vgs - self.vth
+        lam = self.channel_length_modulation
+        cgs, cgd, cdb = self.capacitances()
+        phi_t = self.card.thermal_voltage(temperature_c)
+
+        if vov <= 0.0:
+            # Weak inversion: exponential characteristic.
+            i0 = self.beta * (SUBTHRESHOLD_SLOPE_FACTOR * phi_t) ** 2 * math.exp(1.0)
+            ids = i0 * math.exp(vov / (SUBTHRESHOLD_SLOPE_FACTOR * phi_t))
+            gm = ids / (SUBTHRESHOLD_SLOPE_FACTOR * phi_t)
+            gds = lam * ids + 1e-15
+            return OperatingPoint(
+                ids=ids,
+                gm=gm,
+                gds=gds,
+                vov=vov,
+                vdsat=3.0 * phi_t,
+                cgs=cgs,
+                cgd=cgd,
+                cdb=cdb,
+                region="subthreshold",
+            )
+
+        vdsat = vov
+        if vds >= vdsat:
+            ids = 0.5 * self.beta * vov ** 2 * (1.0 + lam * vds)
+            gm = self.beta * vov * (1.0 + lam * vds)
+            gds = 0.5 * self.beta * vov ** 2 * lam
+            region = "saturation"
+        else:
+            ids = self.beta * (vov * vds - 0.5 * vds ** 2)
+            gm = self.beta * vds
+            gds = self.beta * (vov - vds) + 1e-12
+            region = "triode"
+        return OperatingPoint(
+            ids=max(ids, 0.0),
+            gm=max(gm, 0.0),
+            gds=max(gds, 1e-15),
+            vov=vov,
+            vdsat=vdsat,
+            cgs=cgs,
+            cgd=cgd,
+            cdb=cdb,
+            region=region,
+        )
+
+    def bias_for_current(self, ids: float, vds: float, temperature_c: float = 27.0) -> OperatingPoint:
+        """Operating point of a diode-connected / current-biased device.
+
+        Given a target drain current (as set by a current mirror), solve the
+        square law for the overdrive and return the resulting small-signal
+        parameters.  This is the common case inside the analytical circuit
+        evaluators where bias currents, not gate voltages, are the natural
+        inputs.
+        """
+        if ids <= 0:
+            raise ValueError("drain current must be positive")
+        lam = self.channel_length_modulation
+        # First-order solve ignoring the (1 + lam*vds) factor, then refine once.
+        vov = math.sqrt(2.0 * ids / self.beta)
+        vov = math.sqrt(2.0 * ids / (self.beta * (1.0 + lam * vds)))
+        gm = math.sqrt(2.0 * self.beta * ids * (1.0 + lam * vds))
+        gds = lam * ids
+        cgs, cgd, cdb = self.capacitances()
+        phi_t = self.card.thermal_voltage(temperature_c)
+        region = "saturation"
+        if vov < 2.0 * phi_t:
+            # The requested current pushes the device into moderate/weak
+            # inversion; cap gm at the weak-inversion limit.
+            gm = min(gm, ids / (SUBTHRESHOLD_SLOPE_FACTOR * phi_t))
+            region = "subthreshold"
+        return OperatingPoint(
+            ids=ids,
+            gm=gm,
+            gds=max(gds, 1e-15),
+            vov=vov,
+            vdsat=max(vov, 3.0 * phi_t),
+            cgs=cgs,
+            cgd=cgd,
+            cdb=cdb,
+            region=region,
+        )

@@ -1,0 +1,174 @@
+"""Modified nodal analysis (MNA) for linear small-signal netlists.
+
+Supports DC solves and AC frequency sweeps of a :class:`~repro.circuits.netlist.Netlist`.
+This is the numerical backend used to cross-check the analytical two-stage
+opamp macromodel (poles, zero, unity-gain bandwidth, phase margin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.netlist import GROUND_NAMES, Netlist, Node
+
+
+@dataclass
+class ACSweepResult:
+    """Result of an AC sweep.
+
+    Attributes
+    ----------
+    frequencies:
+        Sweep frequencies in hertz.
+    node_voltages:
+        Mapping from node name to the complex voltage at each frequency.
+    """
+
+    frequencies: np.ndarray
+    node_voltages: Dict[Node, np.ndarray]
+
+    def transfer(self, output: Node, reference: Optional[Node] = None) -> np.ndarray:
+        """Complex transfer function at ``output`` (optionally minus ``reference``)."""
+        voltage = self.node_voltages[output]
+        if reference is not None:
+            voltage = voltage - self.node_voltages[reference]
+        return voltage
+
+    def magnitude_db(self, output: Node) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(np.abs(self.transfer(output)), 1e-30))
+
+    def phase_deg(self, output: Node) -> np.ndarray:
+        return np.degrees(np.unwrap(np.angle(self.transfer(output))))
+
+
+class MNASolver:
+    """Assemble and solve the MNA system of a linear netlist."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self._nodes = netlist.nodes()
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+        self._n_nodes = len(self._nodes)
+        self._n_vsrc = len(netlist.voltage_sources)
+
+    # ------------------------------------------------------------------
+    def _node_index(self, node: Node) -> Optional[int]:
+        if node in GROUND_NAMES:
+            return None
+        return self._index[node]
+
+    def _stamp_conductance(self, matrix: np.ndarray, a: Node, b: Node, value: complex) -> None:
+        ia, ib = self._node_index(a), self._node_index(b)
+        if ia is not None:
+            matrix[ia, ia] += value
+        if ib is not None:
+            matrix[ib, ib] += value
+        if ia is not None and ib is not None:
+            matrix[ia, ib] -= value
+            matrix[ib, ia] -= value
+
+    def _assemble(self, omega: float) -> tuple:
+        size = self._n_nodes + self._n_vsrc
+        matrix = np.zeros((size, size), dtype=complex)
+        rhs = np.zeros(size, dtype=complex)
+
+        for resistor in self.netlist.resistors:
+            self._stamp_conductance(matrix, resistor.a, resistor.b, 1.0 / resistor.resistance)
+        for capacitor in self.netlist.capacitors:
+            self._stamp_conductance(matrix, capacitor.a, capacitor.b, 1j * omega * capacitor.capacitance)
+        for source in self.netlist.current_sources:
+            ia, ib = self._node_index(source.a), self._node_index(source.b)
+            if ia is not None:
+                rhs[ia] -= source.current
+            if ib is not None:
+                rhs[ib] += source.current
+        for vccs in self.netlist.vccs:
+            ia, ib = self._node_index(vccs.a), self._node_index(vccs.b)
+            icp, icn = self._node_index(vccs.cp), self._node_index(vccs.cn)
+            # Current gm * (v_cp - v_cn) flows from a to b.
+            for row, sign_row in ((ia, +1.0), (ib, -1.0)):
+                if row is None:
+                    continue
+                if icp is not None:
+                    matrix[row, icp] += sign_row * vccs.gm
+                if icn is not None:
+                    matrix[row, icn] -= sign_row * vccs.gm
+        for k, vsrc in enumerate(self.netlist.voltage_sources):
+            row = self._n_nodes + k
+            ia, ib = self._node_index(vsrc.a), self._node_index(vsrc.b)
+            if ia is not None:
+                matrix[ia, row] += 1.0
+                matrix[row, ia] += 1.0
+            if ib is not None:
+                matrix[ib, row] -= 1.0
+                matrix[row, ib] -= 1.0
+            rhs[row] = vsrc.voltage
+        return matrix, rhs
+
+    # ------------------------------------------------------------------
+    def solve_dc(self) -> Dict[Node, float]:
+        """Solve the DC operating point (capacitors open)."""
+        matrix, rhs = self._assemble(omega=0.0)
+        solution = np.linalg.solve(matrix + 1e-15 * np.eye(matrix.shape[0]), rhs)
+        return {node: float(solution[i].real) for node, i in self._index.items()}
+
+    def solve_at(self, frequency: float) -> Dict[Node, complex]:
+        """Solve the complex node voltages at one frequency."""
+        matrix, rhs = self._assemble(omega=2.0 * np.pi * frequency)
+        solution = np.linalg.solve(matrix + 1e-18 * np.eye(matrix.shape[0]), rhs)
+        return {node: complex(solution[i]) for node, i in self._index.items()}
+
+    def ac_sweep(self, frequencies: Sequence[float]) -> ACSweepResult:
+        """Sweep over the given frequencies and collect node voltages."""
+        frequencies = np.asarray(list(frequencies), dtype=np.float64)
+        voltages: Dict[Node, List[complex]] = {node: [] for node in self._nodes}
+        for frequency in frequencies:
+            solution = self.solve_at(float(frequency))
+            for node in self._nodes:
+                voltages[node].append(solution[node])
+        return ACSweepResult(
+            frequencies=frequencies,
+            node_voltages={node: np.asarray(values) for node, values in voltages.items()},
+        )
+
+
+def logspace_frequencies(start_hz: float = 1.0, stop_hz: float = 1e10, points: int = 400) -> np.ndarray:
+    """Convenience log-spaced frequency grid for AC sweeps."""
+    return np.logspace(np.log10(start_hz), np.log10(stop_hz), points)
+
+
+def unity_gain_metrics(result: ACSweepResult, output: Node) -> Dict[str, float]:
+    """Extract DC gain, unity-gain bandwidth and phase margin from a sweep.
+
+    The phase margin is measured as ``180 + phase`` at the unity-gain
+    frequency, the standard definition for an inverting loop probed as a
+    non-inverting transfer function that starts at 0 degrees.
+    """
+    magnitude_db = result.magnitude_db(output)
+    phase = result.phase_deg(output)
+    frequencies = result.frequencies
+    dc_gain_db = float(magnitude_db[0])
+    # Find the first crossing below 0 dB.
+    below = np.nonzero(magnitude_db <= 0.0)[0]
+    if len(below) == 0 or below[0] == 0:
+        return {"dc_gain_db": dc_gain_db, "ugbw_hz": float("nan"), "phase_margin_deg": float("nan")}
+    hi = below[0]
+    lo = hi - 1
+    # Log-linear interpolation of the crossing frequency.
+    f_lo, f_hi = frequencies[lo], frequencies[hi]
+    m_lo, m_hi = magnitude_db[lo], magnitude_db[hi]
+    fraction = m_lo / (m_lo - m_hi)
+    ugbw = float(10 ** (np.log10(f_lo) + fraction * (np.log10(f_hi) - np.log10(f_lo))))
+    phase_at_ugbw = float(phase[lo] + fraction * (phase[hi] - phase[lo]))
+    phase_margin = 180.0 + phase_at_ugbw
+    # Wrap into a sensible range.
+    while phase_margin > 180.0:
+        phase_margin -= 360.0
+    return {
+        "dc_gain_db": dc_gain_db,
+        "ugbw_hz": ugbw,
+        "phase_margin_deg": phase_margin,
+    }

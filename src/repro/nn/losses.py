@@ -1,0 +1,33 @@
+"""Loss functions used by the surrogate model and the RL baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error, Eq. (4) of the paper."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss; a robust alternative exposed for the value-head baselines."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    abs_diff = (diff * diff) ** 0.5
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta ** 2
+    mask = np.asarray(abs_diff.data <= delta, dtype=np.float64)
+    combined = quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)
+    return combined.mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error (used for surrogate diagnostics)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return ((diff * diff) ** 0.5).mean()

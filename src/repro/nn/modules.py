@@ -1,0 +1,181 @@
+"""Neural network modules built on the :mod:`repro.autodiff` engine.
+
+Only what the paper needs is implemented: fully-connected layers, the common
+activations, and a small multi-layer perceptron container.  The paper's SPICE
+approximator (Eq. 3) is a plain 3-layer feed-forward network, and the
+model-free baselines use MLP policy / value heads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class Module:
+    """Base class for everything that owns trainable parameters."""
+
+    def parameters(self) -> List[Tensor]:
+        """Return the flat list of trainable tensors."""
+        params: List[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- serialization ------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of all parameter arrays keyed by position."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries but module has {len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            incoming = np.asarray(state[f"param_{i}"], dtype=np.float64)
+            if incoming.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {incoming.shape} vs {param.data.shape}"
+                )
+            param.data[...] = incoming
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Xavier/He initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        init: str = "xavier",
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        if init == "xavier":
+            scale = np.sqrt(2.0 / (in_features + out_features))
+        elif init == "he":
+            scale = np.sqrt(2.0 / in_features)
+        elif init == "small":
+            scale = 1e-2
+        else:
+            raise ValueError(f"unknown init scheme: {init!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(in_features, out_features)), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class Activation(Module):
+    """Stateless activation wrapper so activations compose in Sequential."""
+
+    _FUNCTIONS: Dict[str, Callable[[Tensor], Tensor]] = {
+        "tanh": lambda t: t.tanh(),
+        "relu": lambda t: t.relu(),
+        "sigmoid": lambda t: t.sigmoid(),
+        "identity": lambda t: t,
+    }
+
+    def __init__(self, name: str) -> None:
+        if name not in self._FUNCTIONS:
+            raise ValueError(f"unknown activation: {name!r}")
+        self.name = name
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._FUNCTIONS[self.name](x)
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality (number of sizing variables).
+    hidden:
+        Sizes of the hidden layers; the paper uses a 3-layer network.
+    out_features:
+        Output dimensionality (number of circuit measurements, or action
+        logits for the baselines).
+    activation:
+        Hidden-layer activation name.
+    output_activation:
+        Optional activation on the final layer (``"identity"`` by default).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        activation: str = "tanh",
+        output_activation: str = "identity",
+        rng: Optional[np.random.Generator] = None,
+        init: str = "xavier",
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        layers: List[Module] = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=rng, init=init))
+            layers.append(Activation(activation))
+            previous = width
+        layers.append(Linear(previous, out_features, rng=rng, init=init))
+        if output_activation != "identity":
+            layers.append(Activation(output_activation))
+        self.body = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden = tuple(hidden)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass on raw arrays without building gradients."""
+        return self.forward(Tensor(np.atleast_2d(x))).data
+
+    def copy_weights_from(self, other: "MLP") -> None:
+        """Copy parameters from another MLP with identical architecture."""
+        self.load_state_dict(other.state_dict())

@@ -1,0 +1,71 @@
+"""Feature scaling helpers.
+
+The surrogate network is trained on the fly from a handful of SPICE samples,
+so robust input/output normalisation matters much more than architecture.
+Two scalers are provided: a standard (z-score) scaler and a min-max scaler.
+Both tolerate degenerate (constant) columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-column z-score normalisation with constant-column protection."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (np.atleast_2d(np.asarray(data, dtype=np.float64)) - self.mean_) / self.std_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return np.atleast_2d(np.asarray(data, dtype=np.float64)) * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each column into [0, 1] with constant-column protection."""
+
+    def __init__(self) -> None:
+        self.low_: Optional[np.ndarray] = None
+        self.span_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        self.low_ = data.min(axis=0)
+        span = data.max(axis=0) - self.low_
+        span[span < 1e-12] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.low_ is None or self.span_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (np.atleast_2d(np.asarray(data, dtype=np.float64)) - self.low_) / self.span_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if self.low_ is None or self.span_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return np.atleast_2d(np.asarray(data, dtype=np.float64)) * self.span_ + self.low_

@@ -1,0 +1,100 @@
+"""Mini-batch supervised training loop for MLP regressors.
+
+The paper (Section IV-B) trains the SPICE approximator with plain supervised
+learning, one gradient pass per search iteration (Algorithm 1, line 8).  The
+:func:`train_regressor` helper below supports both that incremental mode and
+the full multi-epoch fit used when the trust-region region is (re)entered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.losses import mse_loss
+from repro.nn.modules import MLP
+from repro.nn.optim import Adam, Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trace of a fit; useful for convergence diagnostics and tests."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0] if self.losses else float("nan")
+
+    def improved(self) -> bool:
+        """True when the loss decreased over the fit."""
+        return bool(self.losses) and self.final_loss <= self.initial_loss
+
+
+def iterate_minibatches(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+):
+    """Yield shuffled (input, target) mini-batches."""
+    count = inputs.shape[0]
+    order = rng.permutation(count)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        yield inputs[index], targets[index]
+
+
+def train_regressor(
+    model: MLP,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    epochs: int = 100,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    optimizer: Optional[Optimizer] = None,
+    rng: Optional[np.random.Generator] = None,
+    l2: float = 0.0,
+) -> TrainingHistory:
+    """Fit ``model`` to map ``inputs`` to ``targets`` with MSE.
+
+    Parameters
+    ----------
+    model:
+        The MLP to train in-place.
+    inputs, targets:
+        2-D arrays of shape ``(n_samples, n_features)`` / ``(n_samples, n_outputs)``.
+    epochs, batch_size, lr:
+        Usual training hyper-parameters.
+    optimizer:
+        Optional pre-built optimizer (so the agent can keep Adam moments
+        across incremental refits).
+    l2:
+        Weight decay strength.
+    """
+    rng = rng or np.random.default_rng()
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+    targets = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+    if inputs.shape[0] != targets.shape[0]:
+        raise ValueError("inputs and targets must have the same number of rows")
+    if optimizer is None:
+        optimizer = Adam(model.parameters(), lr=lr, weight_decay=l2)
+    history = TrainingHistory()
+    for _ in range(epochs):
+        epoch_losses = []
+        for batch_x, batch_y in iterate_minibatches(inputs, targets, batch_size, rng):
+            optimizer.zero_grad()
+            prediction = model(Tensor(batch_x))
+            loss = mse_loss(prediction, Tensor(batch_y))
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.losses.append(float(np.mean(epoch_losses)))
+    return history
