@@ -143,18 +143,23 @@ class Tensor:
                     f"got shape {self.data.shape}"
                 )
             grad = np.ones_like(self.data)
+        # Iterative post-order DFS: the incremental surrogate refits build
+        # graphs far deeper than CPython's recursion limit.
         topo: List[Tensor] = []
         visited = set()
-
-        def build(node: "Tensor") -> None:
+        stack: List[Tuple["Tensor", bool]] = [(self, False)]
+        while stack:
+            node, children_done = stack.pop()
+            if children_done:
+                topo.append(node)
+                continue
             if id(node) in visited:
-                return
+                continue
             visited.add(id(node))
+            stack.append((node, True))
             for child in node._children:
-                build(child)
-            topo.append(node)
-
-        build(self)
+                if id(child) not in visited:
+                    stack.append((child, False))
         self._accumulate(np.asarray(grad, dtype=np.float64))
         for node in reversed(topo):
             if node.grad is not None:
@@ -213,6 +218,29 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         return self * -1.0
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value with the subgradient 0 at 0.
+
+        ``np.sign`` returns 0 at the kink, so the backward pass is finite
+        everywhere — unlike ``(x * x) ** 0.5``, whose chain rule divides by
+        zero exactly at ``x == 0``.
+        """
+        out = Tensor(
+            np.abs(self.data),
+            requires_grad=self.requires_grad,
+            _children=(self,),
+            _op="abs",
+        )
+
+        def _backward() -> None:
+            self._accumulate(out.grad * np.sign(self.data))
+
+        out._backward = _backward
+        return out
+
+    def __abs__(self) -> "Tensor":
+        return self.abs()
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-(other if isinstance(other, Tensor) else Tensor(other)))

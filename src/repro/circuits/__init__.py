@@ -1,0 +1,30 @@
+"""Circuit substrate: device model, technology/PVT cards, netlists, MNA, opamp."""
+
+from repro.circuits.devices import MOSFET, OperatingPoint
+from repro.circuits.opamp import METRIC_NAMES, VARIABLE_NAMES, TwoStageOpAmp
+from repro.circuits.process import TechnologyCard, available_nodes, get_technology
+from repro.circuits.pvt import (
+    NOMINAL,
+    PVTCondition,
+    full_corner_grid,
+    hardest_condition,
+    nine_corner_grid,
+    rank_by_severity,
+)
+
+__all__ = [
+    "METRIC_NAMES",
+    "MOSFET",
+    "NOMINAL",
+    "OperatingPoint",
+    "PVTCondition",
+    "TechnologyCard",
+    "TwoStageOpAmp",
+    "VARIABLE_NAMES",
+    "available_nodes",
+    "full_corner_grid",
+    "get_technology",
+    "hardest_condition",
+    "nine_corner_grid",
+    "rank_by_severity",
+]

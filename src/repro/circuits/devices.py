@@ -15,12 +15,76 @@ import math
 from dataclasses import dataclass
 from typing import Literal
 
+import numpy as np
+
 from repro.circuits.process import TechnologyCard
 
 DeviceType = Literal["nmos", "pmos"]
 
 #: Sub-threshold slope factor (typical 1.2-1.6).
 SUBTHRESHOLD_SLOPE_FACTOR = 1.4
+
+
+def smooth_overdrive(vov, two_n_phi_t):
+    """EKV-style effective overdrive ``2nφt · softplus(vov / 2nφt)``.
+
+    Interpolates continuously (C-infinity) between the weak-inversion
+    exponential (``vov << 0``: ``veff ~ 2nφt·exp(vov/2nφt)``) and the
+    square-law overdrive (``vov >> 0``: ``veff ~ vov``), so a drain current
+    written in terms of ``veff`` has no kink at ``vov = 0``.  Accepts scalars
+    or arrays; uses the overflow-safe softplus form.
+    """
+    x = np.asarray(vov, dtype=np.float64) / two_n_phi_t
+    veff = two_n_phi_t * (np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x))))
+    return veff if veff.ndim else float(veff)
+
+
+def overdrive_sensitivity(vov, two_n_phi_t):
+    """``d veff / d vov`` — a numerically stable logistic sigmoid."""
+    x = np.asarray(vov, dtype=np.float64) / two_n_phi_t
+    positive = 1.0 / (1.0 + np.exp(-np.abs(x)))
+    sig = np.where(x >= 0.0, positive, 1.0 - positive)
+    return sig if sig.ndim else float(sig)
+
+
+def parasitic_capacitances(card: TechnologyCard, width, length):
+    """Vectorized ``(cgs, cgd, cdb)`` area/overlap estimates.
+
+    Single source of truth shared by :meth:`MOSFET.capacitances` and the
+    batch circuit evaluators; accepts scalars or arrays.
+    """
+    cox_total = card.cox * width * length
+    cgs = (2.0 / 3.0) * cox_total
+    cgd = 0.15 * cox_total
+    # Drain junction approximated as a strip of the drawn width.
+    cdb = card.cj * width * 4.0 * card.min_length
+    return cgs, cgd, cdb
+
+
+def saturation_from_current(beta, lam, ids, vds, phi_t):
+    """Vectorized inverse of the smooth saturation law.
+
+    Given the drain current forced through a saturated device (the natural
+    input when bias currents are set by mirrors), return
+    ``(veff, vov, gm, gds)``.  All arguments broadcast; this is the single
+    source of truth shared by :meth:`MOSFET.bias_for_current` and the
+    vectorized opamp batch evaluator.
+    """
+    beta = np.asarray(beta, dtype=np.float64)
+    ids = np.asarray(ids, dtype=np.float64)
+    two_n_phi_t = 2.0 * SUBTHRESHOLD_SLOPE_FACTOR * phi_t
+    veff = np.sqrt(2.0 * ids / (beta * (1.0 + lam * vds)))
+    x = veff / two_n_phi_t
+    # Inverse softplus: vov = 2nφt · ln(exp(veff/2nφt) - 1); for large x the
+    # exponential term dominates and vov -> veff.
+    safe_x = np.minimum(x, 30.0)
+    vov = np.where(x > 30.0, veff, two_n_phi_t * np.log(np.expm1(safe_x) + 1e-300))
+    # 1 - exp(-x) is exactly sigmoid(vov / 2nφt) evaluated without vov.
+    gm = beta * veff * (-np.expm1(-x)) * (1.0 + lam * vds)
+    # Same expression as operating_point's saturation branch,
+    # 0.5*beta*veff^2*lam, rewritten in terms of the forced current.
+    gds = lam * ids / (1.0 + lam * vds)
+    return veff, vov, gm, gds
 
 
 @dataclass(frozen=True)
@@ -131,12 +195,7 @@ class MOSFET:
     # ------------------------------------------------------------------
     def capacitances(self) -> tuple:
         """Return (cgs, cgd, cdb) using simple area/overlap estimates."""
-        cox_total = self.card.cox * self.gate_area
-        cgs = (2.0 / 3.0) * cox_total
-        cgd = 0.15 * cox_total
-        # Drain junction approximated as a strip of the drawn width.
-        cdb = self.card.cj * self.width * 4.0 * self.card.min_length
-        return cgs, cgd, cdb
+        return parasitic_capacitances(self.card, self.width, self.length)
 
     def operating_point(self, vgs: float, vds: float, temperature_c: float = 27.0) -> OperatingPoint:
         """Evaluate the device at the given bias.
@@ -150,36 +209,38 @@ class MOSFET:
         lam = self.channel_length_modulation
         cgs, cgd, cdb = self.capacitances()
         phi_t = self.card.thermal_voltage(temperature_c)
+        two_n_phi_t = 2.0 * SUBTHRESHOLD_SLOPE_FACTOR * phi_t
 
-        if vov <= 0.0:
-            # Weak inversion: exponential characteristic.
-            i0 = self.beta * (SUBTHRESHOLD_SLOPE_FACTOR * phi_t) ** 2 * math.exp(1.0)
-            ids = i0 * math.exp(vov / (SUBTHRESHOLD_SLOPE_FACTOR * phi_t))
-            gm = ids / (SUBTHRESHOLD_SLOPE_FACTOR * phi_t)
-            gds = lam * ids + 1e-15
-            return OperatingPoint(
-                ids=ids,
-                gm=gm,
-                gds=gds,
-                vov=vov,
-                vdsat=3.0 * phi_t,
-                cgs=cgs,
-                cgd=cgd,
-                cdb=cdb,
-                region="subthreshold",
-            )
+        # Single smooth drain-current law: the square law written in terms of
+        # the softplus-interpolated overdrive ``veff``.  Deep in weak
+        # inversion it reduces to ``2βn²φt²·exp(vov/nφt)`` (exponential) and
+        # in strong inversion to ``½β·vov²`` — with no jump at ``vov = 0``,
+        # which is exactly the moderate-inversion region a sizing search
+        # explores.
+        veff = smooth_overdrive(vov, two_n_phi_t)
+        sensitivity = overdrive_sensitivity(vov, two_n_phi_t)
+        vdsat = veff
 
-        vdsat = vov
         if vds >= vdsat:
-            ids = 0.5 * self.beta * vov ** 2 * (1.0 + lam * vds)
-            gm = self.beta * vov * (1.0 + lam * vds)
-            gds = 0.5 * self.beta * vov ** 2 * lam
-            region = "saturation"
+            ids = 0.5 * self.beta * veff ** 2 * (1.0 + lam * vds)
+            gm = self.beta * veff * sensitivity * (1.0 + lam * vds)
+            gds = 0.5 * self.beta * veff ** 2 * lam
         else:
-            ids = self.beta * (vov * vds - 0.5 * vds ** 2)
-            gm = self.beta * vds
-            gds = self.beta * (vov - vds) + 1e-12
+            # The (1 + lam*vds) factor is kept in triode as well so current
+            # and gm join the saturation branch continuously at vds = vdsat.
+            triode = veff * vds - 0.5 * vds ** 2
+            ids = self.beta * triode * (1.0 + lam * vds)
+            gm = self.beta * vds * sensitivity * (1.0 + lam * vds)
+            gds = self.beta * (veff - vds) * (1.0 + lam * vds) + self.beta * triode * lam + 1e-12
+
+        # Label the branch that actually produced the numbers: the triode
+        # expressions apply whenever vds < vdsat, even below threshold.
+        if vds < vdsat:
             region = "triode"
+        elif vov <= 0.0:
+            region = "subthreshold"
+        else:
+            region = "saturation"
         return OperatingPoint(
             ids=max(ids, 0.0),
             gm=max(gm, 0.0),
@@ -204,25 +265,16 @@ class MOSFET:
         if ids <= 0:
             raise ValueError("drain current must be positive")
         lam = self.channel_length_modulation
-        # First-order solve ignoring the (1 + lam*vds) factor, then refine once.
-        vov = math.sqrt(2.0 * ids / self.beta)
-        vov = math.sqrt(2.0 * ids / (self.beta * (1.0 + lam * vds)))
-        gm = math.sqrt(2.0 * self.beta * ids * (1.0 + lam * vds))
-        gds = lam * ids
-        cgs, cgd, cdb = self.capacitances()
         phi_t = self.card.thermal_voltage(temperature_c)
-        region = "saturation"
-        if vov < 2.0 * phi_t:
-            # The requested current pushes the device into moderate/weak
-            # inversion; cap gm at the weak-inversion limit.
-            gm = min(gm, ids / (SUBTHRESHOLD_SLOPE_FACTOR * phi_t))
-            region = "subthreshold"
+        veff, vov, gm, gds = saturation_from_current(self.beta, lam, ids, vds, phi_t)
+        cgs, cgd, cdb = self.capacitances()
+        region = "subthreshold" if vov <= 0.0 else "saturation"
         return OperatingPoint(
             ids=ids,
-            gm=gm,
-            gds=max(gds, 1e-15),
-            vov=vov,
-            vdsat=max(vov, 3.0 * phi_t),
+            gm=float(gm),
+            gds=max(float(gds), 1e-15),
+            vov=float(vov),
+            vdsat=float(veff),
             cgs=cgs,
             cgd=cgd,
             cdb=cdb,

@@ -45,7 +45,16 @@ class ACSweepResult:
 
 
 class MNASolver:
-    """Assemble and solve the MNA system of a linear netlist."""
+    """Assemble and solve the MNA system of a linear netlist.
+
+    The frequency-independent structure is stamped exactly once: the real
+    conductance part ``G`` (resistors, VCCS, voltage-source incidence) and
+    the capacitance part ``C`` are cached so the system at any frequency is
+    just ``G + jω·C``.  An AC sweep then solves all frequencies in a single
+    batched :func:`numpy.linalg.solve` call instead of re-stamping the
+    matrix per point — the hot path when MNA cross-checks run inside a
+    sizing-search loop.
+    """
 
     def __init__(self, netlist: Netlist) -> None:
         self.netlist = netlist
@@ -53,6 +62,8 @@ class MNASolver:
         self._index = {node: i for i, node in enumerate(self._nodes)}
         self._n_nodes = len(self._nodes)
         self._n_vsrc = len(netlist.voltage_sources)
+        self._stamped_revision = netlist.revision
+        self._conductance, self._capacitance, self._rhs = self._stamp_parts()
 
     # ------------------------------------------------------------------
     def _node_index(self, node: Node) -> Optional[int]:
@@ -60,7 +71,7 @@ class MNASolver:
             return None
         return self._index[node]
 
-    def _stamp_conductance(self, matrix: np.ndarray, a: Node, b: Node, value: complex) -> None:
+    def _stamp_two_terminal(self, matrix: np.ndarray, a: Node, b: Node, value: float) -> None:
         ia, ib = self._node_index(a), self._node_index(b)
         if ia is not None:
             matrix[ia, ia] += value
@@ -70,15 +81,21 @@ class MNASolver:
             matrix[ia, ib] -= value
             matrix[ib, ia] -= value
 
-    def _assemble(self, omega: float) -> tuple:
+    def _stamp_parts(self) -> tuple:
+        """Stamp the ``G`` / ``C`` matrices and the RHS once.
+
+        Every element value is frequency independent, so the only thing an
+        individual solve needs to do is combine the parts.
+        """
         size = self._n_nodes + self._n_vsrc
-        matrix = np.zeros((size, size), dtype=complex)
-        rhs = np.zeros(size, dtype=complex)
+        conductance = np.zeros((size, size), dtype=np.float64)
+        capacitance = np.zeros((size, size), dtype=np.float64)
+        rhs = np.zeros(size, dtype=np.float64)
 
         for resistor in self.netlist.resistors:
-            self._stamp_conductance(matrix, resistor.a, resistor.b, 1.0 / resistor.resistance)
+            self._stamp_two_terminal(conductance, resistor.a, resistor.b, 1.0 / resistor.resistance)
         for capacitor in self.netlist.capacitors:
-            self._stamp_conductance(matrix, capacitor.a, capacitor.b, 1j * omega * capacitor.capacitance)
+            self._stamp_two_terminal(capacitance, capacitor.a, capacitor.b, capacitor.capacitance)
         for source in self.netlist.current_sources:
             ia, ib = self._node_index(source.a), self._node_index(source.b)
             if ia is not None:
@@ -93,27 +110,38 @@ class MNASolver:
                 if row is None:
                     continue
                 if icp is not None:
-                    matrix[row, icp] += sign_row * vccs.gm
+                    conductance[row, icp] += sign_row * vccs.gm
                 if icn is not None:
-                    matrix[row, icn] -= sign_row * vccs.gm
+                    conductance[row, icn] -= sign_row * vccs.gm
         for k, vsrc in enumerate(self.netlist.voltage_sources):
             row = self._n_nodes + k
             ia, ib = self._node_index(vsrc.a), self._node_index(vsrc.b)
             if ia is not None:
-                matrix[ia, row] += 1.0
-                matrix[row, ia] += 1.0
+                conductance[ia, row] += 1.0
+                conductance[row, ia] += 1.0
             if ib is not None:
-                matrix[ib, row] -= 1.0
-                matrix[row, ib] -= 1.0
+                conductance[ib, row] -= 1.0
+                conductance[row, ib] -= 1.0
             rhs[row] = vsrc.voltage
-        return matrix, rhs
+        return conductance, capacitance, rhs
+
+    def _refresh_if_stale(self) -> None:
+        """Re-stamp when elements were added to the netlist after construction."""
+        if self.netlist.revision != self._stamped_revision:
+            self.__init__(self.netlist)
+
+    def _assemble(self, omega: float) -> tuple:
+        self._refresh_if_stale()
+        matrix = self._conductance + 1j * omega * self._capacitance
+        return matrix, self._rhs.astype(complex)
 
     # ------------------------------------------------------------------
     def solve_dc(self) -> Dict[Node, float]:
         """Solve the DC operating point (capacitors open)."""
-        matrix, rhs = self._assemble(omega=0.0)
-        solution = np.linalg.solve(matrix + 1e-15 * np.eye(matrix.shape[0]), rhs)
-        return {node: float(solution[i].real) for node, i in self._index.items()}
+        self._refresh_if_stale()
+        size = self._conductance.shape[0]
+        solution = np.linalg.solve(self._conductance + 1e-15 * np.eye(size), self._rhs)
+        return {node: float(solution[i]) for node, i in self._index.items()}
 
     def solve_at(self, frequency: float) -> Dict[Node, complex]:
         """Solve the complex node voltages at one frequency."""
@@ -122,16 +150,22 @@ class MNASolver:
         return {node: complex(solution[i]) for node, i in self._index.items()}
 
     def ac_sweep(self, frequencies: Sequence[float]) -> ACSweepResult:
-        """Sweep over the given frequencies and collect node voltages."""
+        """Sweep over the given frequencies with one batched solve."""
+        self._refresh_if_stale()
         frequencies = np.asarray(list(frequencies), dtype=np.float64)
-        voltages: Dict[Node, List[complex]] = {node: [] for node in self._nodes}
-        for frequency in frequencies:
-            solution = self.solve_at(float(frequency))
-            for node in self._nodes:
-                voltages[node].append(solution[node])
+        omegas = 2.0 * np.pi * frequencies
+        size = self._conductance.shape[0]
+        ridge = 1e-18 * np.eye(size)
+        matrices = (
+            self._conductance[np.newaxis, :, :]
+            + 1j * omegas[:, np.newaxis, np.newaxis] * self._capacitance[np.newaxis, :, :]
+            + ridge[np.newaxis, :, :]
+        )
+        rhs = np.broadcast_to(self._rhs.astype(complex), (len(frequencies), size))
+        solutions = np.linalg.solve(matrices, rhs[..., np.newaxis])[..., 0]
         return ACSweepResult(
             frequencies=frequencies,
-            node_voltages={node: np.asarray(values) for node, values in voltages.items()},
+            node_voltages={node: solutions[:, i].copy() for node, i in self._index.items()},
         )
 
 
@@ -164,9 +198,15 @@ def unity_gain_metrics(result: ACSweepResult, output: Node) -> Dict[str, float]:
     ugbw = float(10 ** (np.log10(f_lo) + fraction * (np.log10(f_hi) - np.log10(f_lo))))
     phase_at_ugbw = float(phase[lo] + fraction * (phase[hi] - phase[lo]))
     phase_margin = 180.0 + phase_at_ugbw
-    # Wrap into a sensible range.
+    # Wrap into (-180, 180], the conventional reporting range; coarse sweep
+    # grids can mis-unwrap by a full turn and otherwise report margins below
+    # -180 degrees.  Caveat: for genuinely conditionally-stable responses
+    # (more than 360 degrees of true lag at crossover) any single wrapped
+    # number is ambiguous — inspect the full phase trace in that case.
     while phase_margin > 180.0:
         phase_margin -= 360.0
+    while phase_margin <= -180.0:
+        phase_margin += 360.0
     return {
         "dc_gain_db": dc_gain_db,
         "ugbw_hz": ugbw,

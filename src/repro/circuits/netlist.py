@@ -91,31 +91,40 @@ class Netlist:
         self.current_sources: List[CurrentSource] = []
         self.vccs: List[VCCS] = []
         self.voltage_sources: List[VoltageSource] = []
+        #: Monotonic change counter; solvers use it to invalidate cached
+        #: stamped matrices.  Mutate elements through the add_* methods (the
+        #: element lists themselves are treated as append-only).
+        self.revision = 0
 
     # -- element builders ------------------------------------------------
     def add_resistor(self, a: Node, b: Node, resistance: float) -> Resistor:
         element = Resistor(a, b, resistance)
         self.resistors.append(element)
+        self.revision += 1
         return element
 
     def add_capacitor(self, a: Node, b: Node, capacitance: float) -> Capacitor:
         element = Capacitor(a, b, capacitance)
         self.capacitors.append(element)
+        self.revision += 1
         return element
 
     def add_current_source(self, a: Node, b: Node, current: float) -> CurrentSource:
         element = CurrentSource(a, b, current)
         self.current_sources.append(element)
+        self.revision += 1
         return element
 
     def add_vccs(self, a: Node, b: Node, cp: Node, cn: Node, gm: float) -> VCCS:
         element = VCCS(a, b, cp, cn, gm)
         self.vccs.append(element)
+        self.revision += 1
         return element
 
     def add_voltage_source(self, a: Node, b: Node, voltage: float) -> VoltageSource:
         element = VoltageSource(a, b, voltage)
         self.voltage_sources.append(element)
+        self.revision += 1
         return element
 
     # -- node bookkeeping --------------------------------------------------

@@ -1,0 +1,5 @@
+"""Core abstractions: the gridded sizing design space (the CSP domain)."""
+
+from repro.core.design_space import DesignSpace, Parameter
+
+__all__ = ["DesignSpace", "Parameter"]

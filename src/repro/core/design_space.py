@@ -100,6 +100,16 @@ class DesignSpace:
             raise ValueError("parameter names must be unique")
         self.parameters: Tuple[Parameter, ...] = tuple(parameters)
         self._by_name: Dict[str, Parameter] = {p.name: p for p in parameters}
+        # Cached per-parameter arrays so unit-cube mapping, snapping and
+        # sampling vectorize over whole (count, dimension) sample batches.
+        self._lows = np.array([p.low for p in self.parameters])
+        self._highs = np.array([p.high for p in self.parameters])
+        self._log_mask = np.array([p.log_scale for p in self.parameters])
+        self._grid_steps = np.array([1.0 / (p.grid_points - 1) for p in self.parameters])
+        safe_lows = np.where(self._log_mask, self._lows, 1.0)
+        safe_highs = np.where(self._log_mask, self._highs, 1.0)
+        self._log_lows = np.log(safe_lows)
+        self._log_spans = np.log(safe_highs) - self._log_lows
 
     # -- basic protocol ---------------------------------------------------
     def __len__(self) -> int:
@@ -149,38 +159,44 @@ class DesignSpace:
         return np.array([float(values[name]) for name in self.names])
 
     # -- unit-cube mapping --------------------------------------------------
+    # All mapping helpers accept either a single vector of shape ``(dim,)``
+    # or a batch of shape ``(count, dim)`` and vectorize column-wise; this is
+    # the fast path the batch circuit evaluator and the trust-region sampler
+    # rely on.
     def to_unit(self, vector: Sequence[float]) -> np.ndarray:
         vector = np.asarray(vector, dtype=np.float64)
-        return np.array(
-            [parameter.to_unit(value) for parameter, value in zip(self.parameters, vector)]
+        if np.any((vector <= 0.0) & self._log_mask):
+            raise ValueError("non-positive value for a log-scale parameter")
+        safe = np.where(self._log_mask, np.maximum(vector, 1e-300), 1.0)
+        linear = (vector - self._lows) / (self._highs - self._lows)
+        logarithmic = (np.log(safe) - self._log_lows) / np.where(
+            self._log_mask, self._log_spans, 1.0
         )
+        return np.where(self._log_mask, logarithmic, linear)
 
     def from_unit(self, unit_vector: Sequence[float]) -> np.ndarray:
-        unit_vector = np.asarray(unit_vector, dtype=np.float64)
-        return np.array(
-            [parameter.from_unit(value) for parameter, value in zip(self.parameters, unit_vector)]
-        )
+        unit_vector = np.clip(np.asarray(unit_vector, dtype=np.float64), 0.0, 1.0)
+        linear = self._lows + unit_vector * (self._highs - self._lows)
+        logarithmic = np.exp(self._log_lows + unit_vector * self._log_spans)
+        return np.where(self._log_mask, logarithmic, linear)
 
     def clip(self, vector: Sequence[float]) -> np.ndarray:
         """Clamp a natural-unit vector into the box."""
         vector = np.asarray(vector, dtype=np.float64)
-        lows = np.array([parameter.low for parameter in self.parameters])
-        highs = np.array([parameter.high for parameter in self.parameters])
-        return np.clip(vector, lows, highs)
+        return np.clip(vector, self._lows, self._highs)
 
     def snap(self, vector: Sequence[float]) -> np.ndarray:
         """Snap every coordinate to its grid."""
-        vector = np.asarray(vector, dtype=np.float64)
-        return np.array(
-            [parameter.snap(value) for parameter, value in zip(self.parameters, vector)]
-        )
+        unit = self.to_unit(self.clip(vector))
+        snapped_unit = np.round(unit / self._grid_steps) * self._grid_steps
+        return self.from_unit(snapped_unit)
 
     def contains(self, vector: Sequence[float]) -> bool:
         """True when the vector lies inside the box (inclusive)."""
         vector = np.asarray(vector, dtype=np.float64)
-        lows = np.array([parameter.low for parameter in self.parameters])
-        highs = np.array([parameter.high for parameter in self.parameters])
-        return bool(np.all(vector >= lows - 1e-12) and np.all(vector <= highs + 1e-12))
+        return bool(
+            np.all(vector >= self._lows - 1e-12) and np.all(vector <= self._highs + 1e-12)
+        )
 
     # -- sampling ------------------------------------------------------------
     def sample(self, rng: np.random.Generator, count: int = 1, snap: bool = True) -> np.ndarray:
@@ -189,9 +205,9 @@ class DesignSpace:
         Returns an array of shape ``(count, dimension)``.
         """
         unit = rng.random((count, self.dimension))
-        samples = np.array([self.from_unit(row) for row in unit])
+        samples = self.from_unit(unit)
         if snap:
-            samples = np.array([self.snap(row) for row in samples])
+            samples = self.snap(samples)
         return samples
 
     def sample_ball(
@@ -211,20 +227,28 @@ class DesignSpace:
         center_unit = self.to_unit(np.asarray(center, dtype=np.float64))
         offsets = rng.uniform(-radius, radius, size=(count, self.dimension))
         unit_points = np.clip(center_unit + offsets, 0.0, 1.0)
-        samples = np.array([self.from_unit(row) for row in unit_points])
+        samples = self.from_unit(unit_points)
         if snap:
-            samples = np.array([self.snap(row) for row in samples])
+            samples = self.snap(samples)
         return samples
 
     def grid_neighbors(self, vector: Sequence[float]) -> List[np.ndarray]:
-        """All single-step grid moves from ``vector`` (used by the env baselines)."""
-        vector = self.snap(vector)
+        """All single-step grid moves from ``vector`` (used by the env baselines).
+
+        Moves that would step outside the box are skipped rather than clipped
+        — clipping at a boundary would return the centre point itself as a
+        spurious "neighbor".
+        """
+        center_unit = self.to_unit(self.snap(vector))
         neighbors: List[np.ndarray] = []
-        for index, parameter in enumerate(self.parameters):
-            step = 1.0 / (parameter.grid_points - 1)
+        for index in range(self.dimension):
+            step = self._grid_steps[index]
             for direction in (-1.0, +1.0):
-                unit = self.to_unit(vector)
-                unit[index] = min(max(unit[index] + direction * step, 0.0), 1.0)
+                moved = center_unit[index] + direction * step
+                if moved < -1e-9 or moved > 1.0 + 1e-9:
+                    continue
+                unit = center_unit.copy()
+                unit[index] = min(max(moved, 0.0), 1.0)
                 neighbors.append(self.snap(self.from_unit(unit)))
         return neighbors
 

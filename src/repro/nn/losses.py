@@ -18,7 +18,7 @@ def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor
     """Huber loss; a robust alternative exposed for the value-head baselines."""
     target = target if isinstance(target, Tensor) else Tensor(target)
     diff = prediction - target
-    abs_diff = (diff * diff) ** 0.5
+    abs_diff = diff.abs()
     quadratic = 0.5 * diff * diff
     linear = delta * abs_diff - 0.5 * delta ** 2
     mask = np.asarray(abs_diff.data <= delta, dtype=np.float64)
@@ -30,4 +30,4 @@ def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean absolute error (used for surrogate diagnostics)."""
     target = target if isinstance(target, Tensor) else Tensor(target)
     diff = prediction - target
-    return ((diff * diff) ** 0.5).mean()
+    return diff.abs().mean()

@@ -1,0 +1,26 @@
+"""Surrogate-assisted trust-region sizing search (Algorithm 1 + Section IV-E)."""
+
+from repro.search.progressive import (
+    CornerReport,
+    ProgressiveResult,
+    progressive_pvt_search,
+)
+from repro.search.spec import Spec, Specification
+from repro.search.trust_region import (
+    IterationRecord,
+    SearchResult,
+    TrustRegionConfig,
+    TrustRegionSearch,
+)
+
+__all__ = [
+    "CornerReport",
+    "IterationRecord",
+    "ProgressiveResult",
+    "SearchResult",
+    "Spec",
+    "Specification",
+    "TrustRegionConfig",
+    "TrustRegionSearch",
+    "progressive_pvt_search",
+]

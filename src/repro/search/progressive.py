@@ -1,0 +1,189 @@
+"""Progressive PVT-corner hardening (Section IV-E of the paper).
+
+Verifying every candidate sizing at every sign-off corner multiplies the
+evaluation cost by the corner count.  The paper's strategy: size at the
+*hardest* corner first (by the severity heuristic), then verify the result
+across the full grid and fold only the corners that actually fail back into
+the active constraint set, re-searching with worst-case margins until either
+every corner passes or the phase budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
+from repro.core.design_space import DesignSpace
+from repro.search.spec import Spec, Specification
+from repro.search.trust_region import (
+    BatchEvaluator,
+    SearchResult,
+    TrustRegionConfig,
+    TrustRegionSearch,
+)
+
+#: Builds a per-corner batch evaluator (e.g. a derated TwoStageOpAmp's
+#: ``evaluate_batch``) together with its metric names.
+EvaluatorFactory = Callable[[PVTCondition], BatchEvaluator]
+
+
+@dataclass
+class CornerReport:
+    """Verification outcome of one PVT corner."""
+
+    condition: PVTCondition
+    metrics: Dict[str, float]
+    satisfied: bool
+
+
+@dataclass
+class ProgressiveResult:
+    """Outcome of the progressive multi-corner search."""
+
+    best_sizing: Dict[str, float]
+    best_vector: np.ndarray
+    solved_all_corners: bool
+    evaluations: int
+    corner_reports: List[CornerReport] = field(default_factory=list)
+    phase_results: List[SearchResult] = field(default_factory=list)
+    active_corners: List[PVTCondition] = field(default_factory=list)
+
+    def failing_corners(self) -> List[PVTCondition]:
+        return [report.condition for report in self.corner_reports if not report.satisfied]
+
+
+def _corner_metric_names(metric_names: Sequence[str], corner: PVTCondition) -> List[str]:
+    return [f"{name}@{corner.name}" for name in metric_names]
+
+
+def _stacked_specification(
+    specs: Sequence[Spec], metric_names: Sequence[str], corners: Sequence[PVTCondition]
+) -> Specification:
+    """Replicate the specs across corners over a concatenated metric vector."""
+    stacked_names: List[str] = []
+    stacked_specs: List[Spec] = []
+    for corner in corners:
+        names = _corner_metric_names(metric_names, corner)
+        stacked_names.extend(names)
+        for spec in specs:
+            stacked_specs.append(
+                Spec(
+                    metric=f"{spec.metric}@{corner.name}",
+                    sense=spec.sense,
+                    bound=spec.bound,
+                    scale=spec.scale,
+                )
+            )
+    return Specification(stacked_specs, stacked_names)
+
+
+def _stacked_evaluator(evaluators: Sequence[BatchEvaluator]) -> BatchEvaluator:
+    def evaluate(samples: np.ndarray) -> np.ndarray:
+        return np.concatenate([evaluator(samples) for evaluator in evaluators], axis=1)
+
+    return evaluate
+
+
+def progressive_pvt_search(
+    evaluator_factory: EvaluatorFactory,
+    design_space: DesignSpace,
+    specs: Sequence[Spec],
+    metric_names: Sequence[str],
+    corners: Optional[Sequence[PVTCondition]] = None,
+    config: Optional[TrustRegionConfig] = None,
+    max_phases: int = 4,
+) -> ProgressiveResult:
+    """Size at the hardest corner first, then harden across the grid.
+
+    Parameters
+    ----------
+    evaluator_factory:
+        Called once per corner to build that corner's batch evaluator.
+    design_space, specs, metric_names:
+        The CSP: single-corner metric layout plus the constraints that must
+        hold at *every* corner.
+    corners:
+        Sign-off grid; defaults to :func:`nine_corner_grid`.
+    config:
+        Trust-region hyper-parameters shared by every phase.
+    max_phases:
+        Upper bound on re-search rounds (each adds the worst failing corner).
+    """
+    if max_phases < 1:
+        raise ValueError("max_phases must be at least 1")
+    corners = list(corners) if corners is not None else nine_corner_grid()
+    config = config or TrustRegionConfig()
+    ranked = rank_by_severity(corners)
+    evaluators = {corner.name: evaluator_factory(corner) for corner in corners}
+
+    active: List[PVTCondition] = [ranked[0]]
+    total_evaluations = 0
+    phase_results: List[SearchResult] = []
+    warm_start: Optional[np.ndarray] = None
+    best_vector: Optional[np.ndarray] = None
+    corner_reports: List[CornerReport] = []
+    solved_all = False
+
+    for phase in range(max_phases):
+        specification = _stacked_specification(specs, metric_names, active)
+        evaluator = _stacked_evaluator([evaluators[corner.name] for corner in active])
+        phase_config = TrustRegionConfig(**{**config.__dict__, "seed": config.seed + phase})
+        search = TrustRegionSearch(
+            evaluator,
+            design_space,
+            specification,
+            config=phase_config,
+            initial_points=warm_start,
+        )
+        result = search.run()
+        phase_results.append(result)
+        total_evaluations += result.evaluations
+        best_vector = result.best_vector
+        warm_start = best_vector[np.newaxis, :]
+
+        # Verify the phase winner across the full corner grid.
+        single_spec = Specification(specs, metric_names)
+        corner_reports = []
+        failing: List[PVTCondition] = []
+        for corner in ranked:
+            metrics = np.atleast_2d(evaluators[corner.name](best_vector[np.newaxis, :]))[0]
+            ok = bool(single_spec.satisfied(metrics[np.newaxis, :])[0])
+            corner_reports.append(
+                CornerReport(
+                    condition=corner,
+                    metrics={name: float(v) for name, v in zip(metric_names, metrics)},
+                    satisfied=ok,
+                )
+            )
+            if not ok:
+                failing.append(corner)
+
+        if not failing:
+            solved_all = True
+            break
+        # Fold the worst *new* failing corner into the active set.
+        active_names = {corner.name for corner in active}
+        new_failures = [corner for corner in failing if corner.name not in active_names]
+        if not new_failures:
+            # The search itself could not satisfy the active set; more
+            # phases would re-run the same problem.
+            break
+        if phase == max_phases - 1:
+            # No further phase will run, so don't report a corner that was
+            # never actually folded into a searched constraint set.
+            break
+        active = active + [new_failures[0]]
+
+    design_dict = design_space.to_dict(best_vector)
+    return ProgressiveResult(
+        best_sizing=design_dict,
+        best_vector=best_vector,
+        solved_all_corners=solved_all,
+        evaluations=total_evaluations,
+        corner_reports=corner_reports,
+        phase_results=phase_results,
+        active_corners=active,
+    )

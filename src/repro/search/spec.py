@@ -1,0 +1,110 @@
+"""Constraint-satisfaction specifications (the CSP of Eq. 2).
+
+A sizing task in the paper is not an optimization of a single figure of
+merit but a *constraint satisfaction problem*: find any sizing whose
+measurements meet every spec.  :class:`Spec` is one inequality constraint on
+a named measurement; :class:`Specification` binds a set of them to a metric
+vector layout and turns raw measurements into normalized margins and a
+scalar satisfaction score the search can hill-climb.
+
+The score convention: each spec contributes ``min(margin, 0)`` with the
+margin normalized by the spec's scale, so the score is 0 exactly when every
+constraint holds and grows more negative with the total violation.  This is
+the standard penalty shaping for surrogate-assisted CSP search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One inequality constraint on a named measurement.
+
+    Attributes
+    ----------
+    metric:
+        Name of the measurement this spec constrains.
+    sense:
+        ``">="`` (the measurement must reach the bound) or ``"<="``.
+    bound:
+        The constraint bound in the measurement's natural unit.
+    scale:
+        Normalization for the margin; defaults to ``|bound|`` so margins are
+        comparable across heterogeneous units (dB vs hertz vs watts).
+    """
+
+    metric: str
+    sense: str
+    bound: float
+    scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sense not in (">=", "<="):
+            raise ValueError(f"sense must be '>=' or '<=', got {self.sense!r}")
+
+    @property
+    def normalizer(self) -> float:
+        if self.scale is not None:
+            return float(self.scale)
+        return max(abs(self.bound), 1e-30)
+
+    def margin(self, value):
+        """Normalized signed margin; positive (or zero) means satisfied."""
+        value = np.asarray(value, dtype=np.float64)
+        if self.sense == ">=":
+            raw = value - self.bound
+        else:
+            raw = self.bound - value
+        return raw / self.normalizer
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.sense} {self.bound:g}"
+
+
+class Specification:
+    """A set of specs bound to a concrete metric-vector layout."""
+
+    def __init__(self, specs: Sequence[Spec], metric_names: Sequence[str]) -> None:
+        if not specs:
+            raise ValueError("a specification needs at least one spec")
+        self.metric_names: Tuple[str, ...] = tuple(metric_names)
+        index: Dict[str, int] = {name: i for i, name in enumerate(self.metric_names)}
+        missing = [spec.metric for spec in specs if spec.metric not in index]
+        if missing:
+            raise KeyError(f"specs reference unknown metrics: {missing}")
+        self.specs: Tuple[Spec, ...] = tuple(specs)
+        self._columns = np.array([index[spec.metric] for spec in specs])
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def margins(self, metrics: np.ndarray) -> np.ndarray:
+        """Normalized margins, shape ``(count, n_specs)``."""
+        metrics = np.atleast_2d(np.asarray(metrics, dtype=np.float64))
+        return np.stack(
+            [spec.margin(metrics[:, column]) for spec, column in zip(self.specs, self._columns)],
+            axis=1,
+        )
+
+    def score(self, metrics: np.ndarray) -> np.ndarray:
+        """Scalar satisfaction score per row: 0 iff feasible, else negative."""
+        return np.minimum(self.margins(metrics), 0.0).sum(axis=1)
+
+    def satisfied(self, metrics: np.ndarray) -> np.ndarray:
+        """Boolean feasibility per row (tolerant to float round-off)."""
+        return np.all(self.margins(metrics) >= -1e-9, axis=1)
+
+    def report(self, metrics: np.ndarray) -> str:
+        """Human-readable pass/fail table for a single metric vector."""
+        metrics = np.atleast_2d(np.asarray(metrics, dtype=np.float64))
+        margins = self.margins(metrics)[0]
+        lines = []
+        for spec, column, margin in zip(self.specs, self._columns, margins):
+            status = "PASS" if margin >= -1e-9 else "FAIL"
+            lines.append(f"  [{status}] {spec} (measured {metrics[0, column]:.4g})")
+        return "\n".join(lines)

@@ -1,0 +1,280 @@
+"""Surrogate-assisted trust-region search (Algorithm 1 of the paper).
+
+The agent alternates between
+
+1. *Monte-Carlo exploration* — uniform sampling of the gridded design space
+   to seed the dataset and to escape when the trust region goes stale;
+2. *surrogate refit* — an on-the-fly MLP (the "SPICE approximator" of
+   Eq. 3) incrementally refit on all evaluated sizings, keeping the Adam
+   moments across refits so each iteration is a cheap warm-started pass;
+3. *trust-region proposal* — a candidate pool sampled inside the L-infinity
+   ball of Eq. (5) around the incumbent, ranked by the surrogate's predicted
+   constraint-satisfaction score, with only the top few candidates sent to
+   the (expensive) true evaluator;
+4. *radius adaptation* — the trust region expands after an improving step
+   and shrinks otherwise, in the classic trust-region fashion.
+
+Every proposed point is snapped to the design grid, so the agent only ever
+evaluates legal CSP assignments, and evaluated points are deduplicated so
+the budget is never spent on a repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+from repro.nn.modules import MLP
+from repro.nn.optim import Adam
+from repro.nn.scalers import StandardScaler
+from repro.nn.training import train_regressor
+from repro.search.spec import Specification
+
+#: An evaluator maps a ``(count, dim)`` sizing array to ``(count, n_metrics)``.
+BatchEvaluator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class TrustRegionConfig:
+    """Hyper-parameters of Algorithm 1."""
+
+    initial_samples: int = 48
+    batch_size: int = 8
+    candidate_pool: int = 512
+    max_evaluations: int = 400
+    initial_radius: float = 0.25
+    min_radius: float = 0.02
+    max_radius: float = 0.5
+    expand: float = 1.6
+    shrink: float = 0.5
+    surrogate_hidden: Sequence[int] = (48, 48)
+    initial_epochs: int = 120
+    refit_epochs: int = 25
+    learning_rate: float = 3e-3
+    seed: int = 0
+
+
+@dataclass
+class IterationRecord:
+    """One trust-region iteration, for diagnostics and tests."""
+
+    evaluations: int
+    radius: float
+    best_score: float
+    improved: bool
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a trust-region search."""
+
+    best_sizing: Dict[str, float]
+    best_vector: np.ndarray
+    best_metrics: Dict[str, float]
+    best_score: float
+    solved: bool
+    evaluations: int
+    history: List[IterationRecord] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        status = "solved" if self.solved else "unsolved"
+        return (
+            f"SearchResult({status}, score={self.best_score:.4g}, "
+            f"evaluations={self.evaluations})"
+        )
+
+
+class TrustRegionSearch:
+    """Algorithm 1: surrogate-assisted trust-region CSP search.
+
+    Parameters
+    ----------
+    evaluator:
+        Batch evaluator mapping ``(count, dim)`` sizings to metrics.
+    design_space:
+        The gridded CSP domain.
+    specification:
+        The constraints to satisfy; its ``metric_names`` must match the
+        evaluator's output columns.
+    config:
+        Hyper-parameters; the RNG seed makes runs reproducible.
+    initial_points:
+        Optional extra sizings (natural units) evaluated up-front — used by
+        the progressive PVT loop to warm-start later phases from the best
+        sizing of an earlier phase.
+    """
+
+    def __init__(
+        self,
+        evaluator: BatchEvaluator,
+        design_space: DesignSpace,
+        specification: Specification,
+        config: Optional[TrustRegionConfig] = None,
+        initial_points: Optional[np.ndarray] = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.design_space = design_space
+        self.specification = specification
+        self.config = config or TrustRegionConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self._initial_points = (
+            np.atleast_2d(np.asarray(initial_points, dtype=np.float64))
+            if initial_points is not None
+            else None
+        )
+        # Dataset of evaluated points (natural units + unit cube + metrics).
+        self._inputs: List[np.ndarray] = []
+        self._metrics: List[np.ndarray] = []
+        self._seen: set = set()
+        # Surrogate state persists across refits (warm-started Adam).
+        self._surrogate: Optional[MLP] = None
+        self._optimizer: Optional[Adam] = None
+        self._output_scaler: Optional[StandardScaler] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def evaluations(self) -> int:
+        return len(self._inputs)
+
+    def _evaluate_new(self, candidates: np.ndarray, limit: Optional[int] = None) -> int:
+        """Evaluate up to ``limit`` not-yet-seen rows; return how many.
+
+        Snapping and true evaluation both run once on the whole block, so
+        the per-candidate cost in the hot loop stays vectorized.
+        """
+        snapped = self.design_space.snap(np.atleast_2d(candidates))
+        fresh = []
+        for row in snapped:
+            key = row.tobytes()
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            fresh.append(row)
+            if limit is not None and len(fresh) >= limit:
+                break
+        if not fresh:
+            return 0
+        block = np.array(fresh)
+        metrics = np.atleast_2d(self.evaluator(block))
+        for row, metric_row in zip(block, metrics):
+            self._inputs.append(row)
+            self._metrics.append(np.asarray(metric_row, dtype=np.float64))
+        return len(fresh)
+
+    def _dataset(self) -> tuple:
+        inputs = np.array(self._inputs)
+        metrics = np.array(self._metrics)
+        scores = self.specification.score(metrics)
+        return inputs, metrics, scores
+
+    # ------------------------------------------------------------------
+    def _refit_surrogate(self, inputs: np.ndarray, metrics: np.ndarray, epochs: int) -> None:
+        unit_inputs = self.design_space.to_unit(inputs)
+        if self._surrogate is None:
+            self._surrogate = MLP(
+                in_features=self.design_space.dimension,
+                hidden=tuple(self.config.surrogate_hidden),
+                out_features=len(self.specification.metric_names),
+                rng=np.random.default_rng(self.config.seed + 1),
+            )
+            self._optimizer = Adam(self._surrogate.parameters(), lr=self.config.learning_rate)
+            # The output scaler is fitted once on the Monte-Carlo seed and
+            # then frozen: retargeting it every refit would silently shift
+            # the regression problem under the persistent Adam moments.
+            self._output_scaler = StandardScaler().fit(metrics)
+        train_regressor(
+            self._surrogate,
+            unit_inputs,
+            self._output_scaler.transform(metrics),
+            epochs=epochs,
+            batch_size=32,
+            optimizer=self._optimizer,
+            rng=self.rng,
+        )
+
+    def _predict_scores(self, candidates: np.ndarray) -> np.ndarray:
+        unit = self.design_space.to_unit(candidates)
+        predicted = self._surrogate.predict(unit)
+        metrics = self._output_scaler.inverse_transform(predicted)
+        return self.specification.score(metrics)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        """Run Algorithm 1 until the spec is met or the budget is spent."""
+        config = self.config
+        # Line 1-3: Monte-Carlo exploration of the full design space.  The
+        # seed stage honours the evaluation budget too (warm-start points
+        # are placed first so they always make the cut).
+        seed_points = self.design_space.sample(self.rng, config.initial_samples)
+        if self._initial_points is not None:
+            seed_points = np.vstack([self._initial_points, seed_points])
+        self._evaluate_new(seed_points, limit=config.max_evaluations)
+
+        inputs, metrics, scores = self._dataset()
+        best = int(np.argmax(scores))
+        radius = config.initial_radius
+        history: List[IterationRecord] = []
+        if scores[best] < -1e-9:
+            # Only worth fitting a surrogate when a search will actually run.
+            self._refit_surrogate(inputs, metrics, epochs=config.initial_epochs)
+
+        # Feasibility tolerance matches Specification.satisfied, so a design
+        # feasible up to float round-off stops the search instead of burning
+        # the remaining budget.
+        while scores[best] < -1e-9 and self.evaluations < config.max_evaluations:
+            center = inputs[best]
+            # Line 5: sample the trust region (L-infinity ball, grid-snapped).
+            candidates = self.design_space.sample_ball(
+                self.rng, center, radius, config.candidate_pool
+            )
+            # Line 6-7: rank by predicted satisfaction score, evaluate the top
+            # few for real (drawing replacements for duplicates from the next
+            # best-ranked candidates, all in one batched call).
+            predicted = self._predict_scores(candidates)
+            order = np.argsort(predicted)[::-1]
+            proposed = candidates[order[: 4 * config.batch_size]]
+            added = self._evaluate_new(proposed, limit=config.batch_size)
+            if added == 0:
+                # The whole region is already evaluated — fall back to
+                # Monte-Carlo exploration so the budget is never wasted.
+                added = self._evaluate_new(self.design_space.sample(self.rng, config.batch_size))
+                if added == 0:
+                    break
+
+            previous_best_score = scores[best]
+            inputs, metrics, scores = self._dataset()
+            best = int(np.argmax(scores))
+            improved = scores[best] > previous_best_score + 1e-12
+            # Line 8: incremental surrogate refit with persistent moments.
+            self._refit_surrogate(inputs, metrics, epochs=config.refit_epochs)
+            # Line 9-10: adapt the trust-region radius.
+            if improved:
+                radius = min(radius * config.expand, config.max_radius)
+            else:
+                radius = max(radius * config.shrink, config.min_radius)
+            history.append(
+                IterationRecord(
+                    evaluations=self.evaluations,
+                    radius=radius,
+                    best_score=float(scores[best]),
+                    improved=bool(improved),
+                )
+            )
+
+        best_vector = inputs[best]
+        best_metrics = metrics[best]
+        return SearchResult(
+            best_sizing=self.design_space.to_dict(best_vector),
+            best_vector=best_vector,
+            best_metrics={
+                name: float(value)
+                for name, value in zip(self.specification.metric_names, best_metrics)
+            },
+            best_score=float(scores[best]),
+            solved=bool(self.specification.satisfied(best_metrics[np.newaxis, :])[0]),
+            evaluations=self.evaluations,
+            history=history,
+        )

@@ -1,0 +1,74 @@
+"""Robust-loss gradients, including the converged zero-error point."""
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn import huber_loss, mae_loss, mse_loss
+
+from test_autodiff import numeric_grad
+
+RNG = np.random.default_rng(7)
+
+
+def loss_grad(loss, prediction, target):
+    pred = Tensor(prediction, requires_grad=True)
+    loss(pred, Tensor(target)).backward()
+    return pred.grad
+
+
+class TestZeroErrorGradients:
+    """The seed computed |x| as (x*x)**0.5, whose backward divides by zero."""
+
+    def test_mae_finite_at_zero_error(self):
+        values = RNG.normal(size=(4, 2))
+        grad = loss_grad(mae_loss, values.copy(), values.copy())
+        assert np.all(np.isfinite(grad))
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_huber_finite_at_zero_error(self):
+        values = RNG.normal(size=(4, 2))
+        grad = loss_grad(huber_loss, values.copy(), values.copy())
+        assert np.all(np.isfinite(grad))
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_huber_finite_with_partial_zero_errors(self):
+        target = np.array([1.0, -2.0, 0.5])
+        prediction = np.array([1.0, 0.0, 0.5])  # one large error, two exact
+        grad = loss_grad(huber_loss, prediction, target)
+        assert np.all(np.isfinite(grad))
+
+
+class TestFiniteDifference:
+    def test_mse_matches_fd(self):
+        prediction = RNG.normal(size=(5, 3))
+        target = RNG.normal(size=(5, 3))
+        grad = loss_grad(mse_loss, prediction, target)
+        expected = numeric_grad(
+            lambda x: float(mse_loss(Tensor(x), Tensor(target)).data), prediction
+        )
+        np.testing.assert_allclose(grad, expected, rtol=1e-5, atol=1e-7)
+
+    def test_mae_matches_fd(self):
+        prediction = RNG.normal(size=(5, 3)) + 0.2  # keep away from kinks
+        target = RNG.normal(size=(5, 3)) - 0.2
+        grad = loss_grad(mae_loss, prediction, target)
+        expected = numeric_grad(
+            lambda x: float(mae_loss(Tensor(x), Tensor(target)).data), prediction
+        )
+        np.testing.assert_allclose(grad, expected, rtol=1e-5, atol=1e-7)
+
+    def test_huber_matches_fd_both_regions(self):
+        target = np.zeros(4)
+        prediction = np.array([0.3, -0.4, 2.5, -3.0])  # quadratic + linear
+        grad = loss_grad(huber_loss, prediction, target)
+        expected = numeric_grad(
+            lambda x: float(huber_loss(Tensor(x), Tensor(target)).data), prediction.copy()
+        )
+        np.testing.assert_allclose(grad, expected, rtol=1e-5, atol=1e-7)
+
+    def test_huber_values(self):
+        # Quadratic inside delta, linear outside.
+        target = Tensor(np.zeros(2))
+        value = float(huber_loss(Tensor(np.array([0.5, 3.0])), target, delta=1.0).data)
+        expected = 0.5 * ((0.5 * 0.5 ** 2) + (3.0 - 0.5))
+        np.testing.assert_allclose(value, expected)

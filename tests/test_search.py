@@ -1,0 +1,167 @@
+"""Trust-region search: spec machinery, smoke CSP, and the opamp demo."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.opamp import METRIC_NAMES, TwoStageOpAmp
+from repro.circuits.pvt import hardest_condition, nine_corner_grid
+from repro.core.design_space import DesignSpace, Parameter
+from repro.search import (
+    Spec,
+    Specification,
+    TrustRegionConfig,
+    TrustRegionSearch,
+)
+from repro.search.opamp_demo import DEFAULT_SPECS, size_two_stage_opamp
+
+
+class TestSpecification:
+    def test_margins_and_score(self):
+        spec = Specification(
+            [Spec("gain", ">=", 100.0), Spec("power", "<=", 2.0)], ["gain", "power"]
+        )
+        metrics = np.array([[120.0, 1.0], [90.0, 3.0]])
+        margins = spec.margins(metrics)
+        np.testing.assert_allclose(margins, [[0.2, 0.5], [-0.1, -0.5]])
+        np.testing.assert_allclose(spec.score(metrics), [0.0, -0.6])
+        np.testing.assert_array_equal(spec.satisfied(metrics), [True, False])
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            Specification([Spec("missing", ">=", 1.0)], ["gain"])
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError):
+            Spec("gain", ">", 1.0)
+
+    def test_report_lists_failures(self):
+        spec = Specification([Spec("gain", ">=", 100.0)], ["gain"])
+        assert "FAIL" in spec.report(np.array([50.0]))
+        assert "PASS" in spec.report(np.array([150.0]))
+
+
+def quadratic_evaluator(samples):
+    """Toy CSP: two metrics shaped so feasibility needs x near (0.7, 0.3)."""
+    samples = np.atleast_2d(samples)
+    x, y = samples[:, 0], samples[:, 1]
+    metric_a = 1.0 - (x - 0.7) ** 2 - (y - 0.3) ** 2  # want >= 0.99
+    metric_b = (x - 0.7) ** 2 + (y - 0.3) ** 2  # want <= 0.01
+    return np.stack([metric_a, metric_b], axis=1)
+
+
+class TestTrustRegionSearch:
+    def make_search(self, seed=0, max_evaluations=300):
+        space = DesignSpace(
+            [Parameter("x", 0.0, 1.0, grid_points=101), Parameter("y", 0.0, 1.0, grid_points=101)]
+        )
+        spec = Specification(
+            [Spec("a", ">=", 0.99), Spec("b", "<=", 0.01)], ["a", "b"]
+        )
+        config = TrustRegionConfig(
+            seed=seed,
+            initial_samples=24,
+            batch_size=6,
+            candidate_pool=128,
+            max_evaluations=max_evaluations,
+            surrogate_hidden=(24, 24),
+            initial_epochs=60,
+            refit_epochs=15,
+        )
+        return TrustRegionSearch(quadratic_evaluator, space, spec, config)
+
+    def test_solves_toy_csp(self):
+        result = self.make_search().run()
+        assert result.solved
+        assert result.evaluations <= 300
+        assert abs(result.best_sizing["x"] - 0.7) < 0.1
+        assert abs(result.best_sizing["y"] - 0.3) < 0.1
+
+    def test_reproducible_under_fixed_seed(self):
+        first = self.make_search(seed=3).run()
+        second = self.make_search(seed=3).run()
+        np.testing.assert_array_equal(first.best_vector, second.best_vector)
+        assert first.evaluations == second.evaluations
+        assert first.best_score == second.best_score
+
+    def test_budget_is_respected(self):
+        # An unsatisfiable spec must stop at the evaluation budget.
+        space = DesignSpace([Parameter("x", 0.0, 1.0, grid_points=51)])
+        spec = Specification([Spec("a", ">=", 10.0)], ["a"])
+
+        def evaluator(samples):
+            return np.atleast_2d(samples)[:, :1] * 0.0
+
+        config = TrustRegionConfig(
+            seed=0, initial_samples=10, batch_size=5, max_evaluations=40,
+            candidate_pool=32, surrogate_hidden=(8,), initial_epochs=10, refit_epochs=5,
+        )
+        result = TrustRegionSearch(evaluator, space, spec, config).run()
+        assert not result.solved
+        assert result.evaluations <= 51  # cannot exceed the (finite) grid
+        # The Monte-Carlo seed stage honours the budget as well.
+        tight = TrustRegionConfig(
+            seed=0, initial_samples=24, batch_size=5, max_evaluations=10,
+            candidate_pool=32, surrogate_hidden=(8,), initial_epochs=10, refit_epochs=5,
+        )
+        clamped = TrustRegionSearch(evaluator, space, spec, tight).run()
+        assert clamped.evaluations <= 10
+
+    def test_never_reevaluates_a_point(self):
+        calls = []
+
+        def counting_evaluator(samples):
+            for row in np.atleast_2d(samples):
+                calls.append(tuple(np.round(row, 12)))
+            return quadratic_evaluator(samples)
+
+        space = DesignSpace(
+            [Parameter("x", 0.0, 1.0, grid_points=21), Parameter("y", 0.0, 1.0, grid_points=21)]
+        )
+        spec = Specification([Spec("a", ">=", 2.0)], ["a", "b"])  # unsatisfiable
+        config = TrustRegionConfig(
+            seed=1, initial_samples=12, batch_size=4, max_evaluations=80,
+            candidate_pool=64, surrogate_hidden=(8,), initial_epochs=10, refit_epochs=5,
+        )
+        TrustRegionSearch(counting_evaluator, space, spec, config).run()
+        assert len(calls) == len(set(calls))
+
+
+class TestOpampSizingEndToEnd:
+    """Acceptance: the agent meets the spec at the hardest PVT corner within
+    a fixed budget, reproducibly under a fixed seed."""
+
+    def run_hardest_corner(self, seed=0):
+        condition = hardest_condition(nine_corner_grid())
+        amp = TwoStageOpAmp(condition=condition)
+        spec = Specification(DEFAULT_SPECS, METRIC_NAMES)
+        config = TrustRegionConfig(seed=seed, max_evaluations=400)
+        search = TrustRegionSearch(amp.evaluate_batch, amp.design_space(), spec, config)
+        return search.run(), spec
+
+    def test_solves_spec_at_hardest_corner(self):
+        result, spec = self.run_hardest_corner()
+        assert result.solved
+        assert result.evaluations <= 400
+        assert spec.satisfied(
+            np.array([[result.best_metrics[name] for name in METRIC_NAMES]])
+        )[0]
+
+    def test_reproducible(self):
+        first, _ = self.run_hardest_corner(seed=5)
+        second, _ = self.run_hardest_corner(seed=5)
+        np.testing.assert_array_equal(first.best_vector, second.best_vector)
+
+    def test_solution_is_on_grid(self):
+        result, _ = self.run_hardest_corner()
+        amp = TwoStageOpAmp(condition=hardest_condition(nine_corner_grid()))
+        space = amp.design_space()
+        np.testing.assert_allclose(space.snap(result.best_vector), result.best_vector, rtol=1e-9)
+
+    def test_progressive_pvt_demo(self):
+        result = size_two_stage_opamp(seed=0)
+        assert result.solved_all_corners
+        assert len(result.corner_reports) == 9
+        assert all(report.satisfied for report in result.corner_reports)
+        # Sized at the hardest corner first (Section IV-E).
+        hardest = hardest_condition(nine_corner_grid())
+        assert result.active_corners[0].name == hardest.name
