@@ -1,0 +1,36 @@
+"""Benchmark harness: measure search efficiency across the topology zoo.
+
+``python -m repro.bench --suite smoke --seeds 3`` runs the progressive
+trust-region search on every registered (topology, spec tier, corner set)
+case and writes a ``BENCH_<suite>.json`` artifact with per-problem success
+rate, median evaluations-to-feasible, surrogate-refit time and wall time —
+the numbers every scaling/speed PR is measured against.
+"""
+
+from repro.bench.registry import (
+    CORNER_SETS,
+    BenchCase,
+    available_suites,
+    get_suite,
+    register_benchmark,
+)
+from repro.bench.runner import (
+    SCHEMA,
+    format_summary,
+    run_case,
+    run_suite,
+    write_bench_json,
+)
+
+__all__ = [
+    "BenchCase",
+    "CORNER_SETS",
+    "SCHEMA",
+    "available_suites",
+    "format_summary",
+    "get_suite",
+    "register_benchmark",
+    "run_case",
+    "run_suite",
+    "write_bench_json",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — run a benchmark suite, write a BENCH JSON."""
+
+import sys
+
+from repro.bench.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

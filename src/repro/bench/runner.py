@@ -1,0 +1,216 @@
+"""Benchmark runner: execute suites, aggregate, and emit BENCH JSON.
+
+Every case runs the same progressive trust-region search users get from
+:func:`repro.search.sizing.size_problem`, once per seed, and records the
+numbers the ROADMAP tracks per PR:
+
+* **success rate** — fraction of seeds whose winner passes every spec at
+  every corner of the case's corner set;
+* **median evaluations-to-feasible** — median (over successful seeds) of
+  true-evaluator calls consumed, the paper's efficiency metric;
+* **surrogate-refit seconds** — wall time inside the incremental MLP refits;
+* **wall seconds** — end-to-end search time.
+
+The JSON artifact schema is ``repro.bench/v1`` (see README "Benchmarking"):
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "suite": "smoke",
+      "seeds": [0, 1, 2],
+      "cases": [
+        {
+          "name": "two_stage_opamp/nominal/nine",
+          "topology": "two_stage_opamp", "tier": "nominal",
+          "corner_set": "nine", "design_dims": 8,
+          "success_rate": 1.0,
+          "median_evaluations_to_feasible": 120,
+          "mean_refit_seconds": 0.27, "mean_wall_seconds": 1.4,
+          "per_seed": [{"seed": 0, "solved": true, "evaluations": 120,
+                        "refit_seconds": 0.27, "wall_seconds": 1.4,
+                        "phases": 1, "best_sizing": {"w1": 4.3e-05}}]
+        }
+      ],
+      "totals": {"cases": 4, "solved_fraction": 1.0, "wall_seconds": 12.3}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from statistics import median
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.registry import BenchCase, get_suite
+from repro.circuits.topologies import get_topology
+from repro.search.sizing import size_problem
+
+SCHEMA = "repro.bench/v1"
+
+
+def run_case(case: BenchCase, seeds: Sequence[int]) -> Dict[str, Any]:
+    """Run one benchmark case across seeds and aggregate the statistics."""
+    problem_cls = get_topology(case.topology)
+    design_dims = len(problem_cls.VARIABLE_NAMES)
+    per_seed: List[Dict[str, Any]] = []
+    for seed in seeds:
+        started = time.perf_counter()
+        result = size_problem(
+            case.topology,
+            technology=case.technology,
+            load_cap=case.load_cap,
+            tier=case.tier,
+            corners=case.corners(),
+            config=case.config(seed),
+            max_phases=case.max_phases,
+        )
+        wall = time.perf_counter() - started
+        per_seed.append(
+            {
+                "seed": int(seed),
+                "solved": bool(result.solved_all_corners),
+                "evaluations": int(result.evaluations),
+                "refit_seconds": round(result.refit_seconds, 6),
+                "wall_seconds": round(wall, 6),
+                "phases": len(result.phase_results),
+                "best_sizing": {k: float(v) for k, v in result.best_sizing.items()},
+            }
+        )
+
+    solved = [record for record in per_seed if record["solved"]]
+    return {
+        "name": case.name,
+        "topology": case.topology,
+        "tier": case.tier,
+        "corner_set": case.corner_set,
+        "technology": case.technology,
+        "design_dims": design_dims,
+        "success_rate": len(solved) / len(per_seed) if per_seed else 0.0,
+        "median_evaluations_to_feasible": (
+            int(median(record["evaluations"] for record in solved)) if solved else None
+        ),
+        "mean_refit_seconds": (
+            round(sum(r["refit_seconds"] for r in per_seed) / len(per_seed), 6)
+            if per_seed
+            else 0.0
+        ),
+        "mean_wall_seconds": (
+            round(sum(r["wall_seconds"] for r in per_seed) / len(per_seed), 6)
+            if per_seed
+            else 0.0
+        ),
+        "per_seed": per_seed,
+    }
+
+
+def run_suite(suite: str = "smoke", seeds: Sequence[int] = (0, 1, 2)) -> Dict[str, Any]:
+    """Run every case of a suite; returns the ``repro.bench/v1`` payload."""
+    cases = get_suite(suite)
+    started = time.perf_counter()
+    case_results = [run_case(case, seeds) for case in cases]
+    wall = time.perf_counter() - started
+    runs = [record for result in case_results for record in result["per_seed"]]
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "seeds": [int(seed) for seed in seeds],
+        "cases": case_results,
+        "totals": {
+            "cases": len(case_results),
+            "solved_fraction": (
+                sum(record["solved"] for record in runs) / len(runs) if runs else 0.0
+            ),
+            "wall_seconds": round(wall, 6),
+        },
+    }
+
+
+def write_bench_json(payload: Dict[str, Any], path: str) -> None:
+    """Write the payload as a stable, diff-friendly JSON artifact."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_summary(payload: Dict[str, Any]) -> str:
+    """Human-readable one-line-per-case table for CLI output."""
+    lines = [
+        f"suite {payload['suite']!r} | seeds {payload['seeds']} "
+        f"| {payload['totals']['wall_seconds']:.1f} s total",
+        f"{'case':42s} {'dims':>4s} {'succ':>6s} {'evals':>6s} "
+        f"{'refit_s':>8s} {'wall_s':>7s}",
+    ]
+    for case in payload["cases"]:
+        evals = case["median_evaluations_to_feasible"]
+        lines.append(
+            f"{case['name']:42s} {case['design_dims']:>4d} "
+            f"{case['success_rate']:>6.2f} "
+            f"{(str(evals) if evals is not None else '-'):>6s} "
+            f"{case['mean_refit_seconds']:>8.3f} {case['mean_wall_seconds']:>7.2f}"
+        )
+    totals = payload["totals"]
+    lines.append(
+        f"overall: {totals['solved_fraction'] * 100.0:.0f}% of runs solved "
+        f"across {totals['cases']} cases"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.bench --suite smoke --seeds 3``."""
+    import argparse
+
+    from repro.bench.registry import available_suites
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run a sizing benchmark suite and write a BENCH JSON artifact.",
+    )
+    parser.add_argument(
+        "--suite",
+        default="smoke",
+        choices=available_suites(),
+        help="benchmark suite to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="number of seeds (0..N-1) per case (default: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="JSON artifact path (default: BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="exit nonzero when the solved fraction falls below this "
+        "threshold (default: 0.0, i.e. never fail; CI gates pass 1.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be at least 1")
+    if not 0.0 <= args.fail_under <= 1.0:
+        parser.error("--fail-under must be within [0, 1]")
+
+    payload = run_suite(args.suite, seeds=range(args.seeds))
+    output = args.output or f"BENCH_{args.suite}.json"
+    write_bench_json(payload, output)
+    print(format_summary(payload))
+    print(f"wrote {output}")
+    solved_fraction = payload["totals"]["solved_fraction"]
+    if solved_fraction < args.fail_under:
+        print(
+            f"FAIL: solved fraction {solved_fraction:.2f} "
+            f"below --fail-under {args.fail_under:.2f}"
+        )
+        return 1
+    return 0

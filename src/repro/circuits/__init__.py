@@ -1,4 +1,4 @@
-"""Circuit substrate: device model, technology/PVT cards, netlists, MNA, opamp."""
+"""Circuit substrate: device model, technology/PVT cards, netlists, MNA, topologies."""
 
 from repro.circuits.devices import MOSFET, OperatingPoint
 from repro.circuits.opamp import METRIC_NAMES, VARIABLE_NAMES, TwoStageOpAmp
@@ -11,20 +11,40 @@ from repro.circuits.pvt import (
     nine_corner_grid,
     rank_by_severity,
 )
+from repro.circuits.topologies import (
+    AMPLIFIER_METRIC_NAMES,
+    SPEC_TIERS,
+    FiveTransistorOTA,
+    FoldedCascodeOTA,
+    SizingProblem,
+    TelescopicCascodeOTA,
+    available_topologies,
+    get_topology,
+    register_topology,
+)
 
 __all__ = [
+    "AMPLIFIER_METRIC_NAMES",
     "METRIC_NAMES",
     "MOSFET",
     "NOMINAL",
     "OperatingPoint",
     "PVTCondition",
+    "SPEC_TIERS",
+    "FiveTransistorOTA",
+    "FoldedCascodeOTA",
+    "SizingProblem",
     "TechnologyCard",
+    "TelescopicCascodeOTA",
     "TwoStageOpAmp",
     "VARIABLE_NAMES",
     "available_nodes",
+    "available_topologies",
     "full_corner_grid",
     "get_technology",
+    "get_topology",
     "hardest_condition",
     "nine_corner_grid",
     "rank_by_severity",
+    "register_topology",
 ]

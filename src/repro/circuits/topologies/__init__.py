@@ -1,0 +1,42 @@
+"""Topology zoo: pluggable sizing workloads behind one interface.
+
+Importing this package registers every built-in topology:
+
+========================  ==========================================  ====
+registry name             class                                       dims
+========================  ==========================================  ====
+``two_stage_opamp``       :class:`~.two_stage.TwoStageOpAmp`             8
+``ota_5t``                :class:`~.ota_5t.FiveTransistorOTA`            5
+``folded_cascode``        :class:`~.folded_cascode.FoldedCascodeOTA`     6
+``telescopic``            :class:`~.telescopic.TelescopicCascodeOTA`     5
+========================  ==========================================  ====
+
+Third-party workloads subclass :class:`SizingProblem` and register with
+:func:`register_topology`.
+"""
+
+from repro.circuits.topologies.base import (
+    AMPLIFIER_METRIC_NAMES,
+    SPEC_TIERS,
+    SizingProblem,
+    available_topologies,
+    get_topology,
+    register_topology,
+)
+from repro.circuits.topologies.folded_cascode import FoldedCascodeOTA
+from repro.circuits.topologies.ota_5t import FiveTransistorOTA
+from repro.circuits.topologies.telescopic import TelescopicCascodeOTA
+from repro.circuits.topologies.two_stage import TwoStageOpAmp
+
+__all__ = [
+    "AMPLIFIER_METRIC_NAMES",
+    "SPEC_TIERS",
+    "FiveTransistorOTA",
+    "FoldedCascodeOTA",
+    "SizingProblem",
+    "TelescopicCascodeOTA",
+    "TwoStageOpAmp",
+    "available_topologies",
+    "get_topology",
+    "register_topology",
+]

@@ -1,0 +1,202 @@
+"""The :class:`SizingProblem` interface and the topology registry.
+
+The paper's agent is a *general* constraint-satisfaction sizer: nothing in
+Algorithm 1 is specific to the two-stage Miller opamp it is demonstrated on.
+This module makes that genericity concrete.  A :class:`SizingProblem` bundles
+everything the search stack needs from a workload:
+
+* a gridded :class:`~repro.core.design_space.DesignSpace` (the CSP domain),
+* a vectorized ``(count, dim) -> (count, n_metrics)`` ``evaluate_batch``
+  (the "SPICE" the surrogate approximates),
+* metric names binding the output columns to :class:`~repro.search.spec.Spec`
+  constraints,
+* an optional equivalent small-signal netlist so
+  :mod:`repro.circuits.mna` can cross-check the closed-form poles numerically,
+* a ``default_specs()`` tier ladder (``smoke`` < ``nominal`` < ``stretch``)
+  so benchmarks can dial difficulty without hand-tuning bounds per topology.
+
+Every problem is PVT-aware by construction: the constructor derates the
+technology card through :meth:`~repro.circuits.pvt.PVTCondition.apply`, the
+same path the progressive corner-hardening loop uses.
+
+Concrete topologies register themselves with :func:`register_topology`, and
+the benchmark suite enumerates them through :func:`available_topologies`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+from repro.circuits.mna import MNASolver, logspace_frequencies, unity_gain_metrics
+from repro.circuits.netlist import Netlist
+from repro.circuits.process import TechnologyCard, get_technology
+from repro.circuits.pvt import NOMINAL, PVTCondition
+from repro.core.design_space import DesignSpace
+from repro.search.spec import Spec
+
+SizingLike = Union[Mapping[str, float], Sequence[float], np.ndarray]
+
+#: Canonical tier order of every ``default_specs()`` ladder, easiest first.
+SPEC_TIERS: Tuple[str, ...] = ("smoke", "nominal", "stretch")
+
+#: The shared measurement layout of every amplifier topology in the zoo.
+#: Using one layout across topologies lets the benchmark harness and the
+#: progressive PVT loop treat all workloads uniformly.
+AMPLIFIER_METRIC_NAMES: Tuple[str, ...] = (
+    "dc_gain_db",
+    "ugbw_hz",
+    "phase_margin_deg",
+    "power_w",
+    "slew_v_per_s",
+)
+
+
+class SizingProblem(ABC):
+    """One analog sizing workload: design space, evaluator, specs.
+
+    Subclasses define the class attributes ``name`` (registry key),
+    ``VARIABLE_NAMES`` (sizing-vector layout) and ``METRIC_NAMES`` (output
+    columns of :meth:`evaluate_batch`), plus the abstract methods below.
+
+    Parameters
+    ----------
+    technology:
+        Technology node name or a :class:`TechnologyCard`.
+    condition:
+        PVT corner; the card is derated once at construction.
+    load_cap:
+        External load capacitance at the output, in farads.
+    """
+
+    #: Registry key, e.g. ``"two_stage_opamp"``.
+    name: str = ""
+    #: Order of the sizing variables in vector form.
+    VARIABLE_NAMES: Tuple[str, ...] = ()
+    #: Order of the measurements returned by the batch evaluator.
+    METRIC_NAMES: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        technology: Union[str, TechnologyCard] = "bsim45",
+        condition: PVTCondition = NOMINAL,
+        load_cap: float = 2e-12,
+    ) -> None:
+        card = get_technology(technology) if isinstance(technology, str) else technology
+        self.condition = condition
+        self.card = condition.apply(card)
+        self.load_cap = float(load_cap)
+
+    # -- abstract workload definition ----------------------------------
+    @abstractmethod
+    def design_space(self) -> DesignSpace:
+        """The gridded CSP domain over :attr:`VARIABLE_NAMES`."""
+
+    @abstractmethod
+    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Closed-form metrics for a ``(count, dim)`` array of sizings.
+
+        Returns an array of shape ``(count, len(METRIC_NAMES))`` computed in
+        a single vectorized pass — no per-sample Python loop.
+        """
+
+    @abstractmethod
+    def default_specs(self) -> Dict[str, Tuple[Spec, ...]]:
+        """Spec tier ladder keyed by :data:`SPEC_TIERS` names.
+
+        ``smoke`` must be solvable in a few hundred evaluations at the
+        hardest sign-off corner (the CI budget); ``nominal`` is the headline
+        experiment; ``stretch`` is allowed to need the progressive loop's
+        full budget.
+        """
+
+    def small_signal_netlist(self, sizing: SizingLike) -> Optional[Netlist]:
+        """Equivalent linear netlist for MNA cross-checking, if available."""
+        return None
+
+    # -- shared machinery ----------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return len(self.VARIABLE_NAMES)
+
+    def to_vector(self, sizing: SizingLike) -> np.ndarray:
+        """Coerce a mapping or sequence into the canonical sizing vector."""
+        if isinstance(sizing, Mapping):
+            return np.array([float(sizing[name]) for name in self.VARIABLE_NAMES])
+        vector = np.asarray(sizing, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected a sizing vector of length {self.dimension}, got {vector.shape}"
+            )
+        return vector
+
+    def validated_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Coerce to ``(count, dim)`` float64 and check the column count."""
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        if samples.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected samples of shape (count, {self.dimension}), got {samples.shape}"
+            )
+        return samples
+
+    def evaluate(self, sizing: SizingLike) -> Dict[str, float]:
+        """Metrics of a single sizing, via the same vectorized path."""
+        row = self.evaluate_batch(self.to_vector(sizing)[np.newaxis, :])[0]
+        return {name: float(value) for name, value in zip(self.METRIC_NAMES, row)}
+
+    def mna_metrics(
+        self,
+        sizing: SizingLike,
+        frequencies: Optional[np.ndarray] = None,
+        points: int = 800,
+    ) -> Dict[str, float]:
+        """Numerical gain/UGBW/phase-margin from an MNA sweep of the netlist."""
+        netlist = self.small_signal_netlist(sizing)
+        if netlist is None:
+            raise NotImplementedError(
+                f"topology {self.name!r} provides no small-signal netlist"
+            )
+        solver = MNASolver(netlist)
+        if frequencies is None:
+            frequencies = logspace_frequencies(1e0, 1e11, points)
+        result = solver.ac_sweep(frequencies)
+        return unity_gain_metrics(result, "out")
+
+
+# ----------------------------------------------------------------------
+# Topology registry (mirrors repro.circuits.process.register_technology).
+
+_TOPOLOGIES: Dict[str, Type[SizingProblem]] = {}
+
+
+def register_topology(cls: Type[SizingProblem]) -> Type[SizingProblem]:
+    """Class decorator adding a :class:`SizingProblem` to the registry."""
+    if not cls.name:
+        raise ValueError(f"topology class {cls.__name__} must set a non-empty 'name'")
+    if cls.name in _TOPOLOGIES and _TOPOLOGIES[cls.name] is not cls:
+        raise ValueError(f"topology {cls.name!r} already registered")
+    _TOPOLOGIES[cls.name] = cls
+    return cls
+
+
+def available_topologies() -> Tuple[str, ...]:
+    """Names of all registered topologies, sorted."""
+    return tuple(sorted(_TOPOLOGIES))
+
+
+def get_topology(name: str) -> Type[SizingProblem]:
+    """Look up a topology class by registry name.
+
+    Raises
+    ------
+    KeyError
+        If the topology is unknown; the message lists the available names.
+    """
+    try:
+        return _TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        ) from None

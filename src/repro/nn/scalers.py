@@ -3,7 +3,9 @@
 The surrogate network is trained on the fly from a handful of SPICE samples,
 so robust input/output normalisation matters much more than architecture.
 Two scalers are provided: a standard (z-score) scaler and a min-max scaler.
-Both tolerate degenerate (constant) columns.
+Both tolerate degenerate (constant) columns, and both validate the feature
+dimension on every transform — NumPy broadcasting would otherwise happily
+"normalise" an array with the wrong column count into garbage.
 """
 
 from __future__ import annotations
@@ -11,6 +13,17 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+
+
+def _validated_2d(data: np.ndarray, fitted_features: int, operation: str) -> np.ndarray:
+    """Coerce to (count, features) float64 and check the column count."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    if data.shape[1] != fitted_features:
+        raise ValueError(
+            f"{operation} expects {fitted_features} feature column(s), "
+            f"got array of shape {data.shape}"
+        )
+    return data
 
 
 class StandardScaler:
@@ -31,7 +44,7 @@ class StandardScaler:
     def transform(self, data: np.ndarray) -> np.ndarray:
         if self.mean_ is None or self.std_ is None:
             raise RuntimeError("scaler must be fitted before transform")
-        return (np.atleast_2d(np.asarray(data, dtype=np.float64)) - self.mean_) / self.std_
+        return (_validated_2d(data, len(self.mean_), "transform") - self.mean_) / self.std_
 
     def fit_transform(self, data: np.ndarray) -> np.ndarray:
         return self.fit(data).transform(data)
@@ -39,7 +52,7 @@ class StandardScaler:
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         if self.mean_ is None or self.std_ is None:
             raise RuntimeError("scaler must be fitted before inverse_transform")
-        return np.atleast_2d(np.asarray(data, dtype=np.float64)) * self.std_ + self.mean_
+        return _validated_2d(data, len(self.mean_), "inverse_transform") * self.std_ + self.mean_
 
 
 class MinMaxScaler:
@@ -60,7 +73,7 @@ class MinMaxScaler:
     def transform(self, data: np.ndarray) -> np.ndarray:
         if self.low_ is None or self.span_ is None:
             raise RuntimeError("scaler must be fitted before transform")
-        return (np.atleast_2d(np.asarray(data, dtype=np.float64)) - self.low_) / self.span_
+        return (_validated_2d(data, len(self.low_), "transform") - self.low_) / self.span_
 
     def fit_transform(self, data: np.ndarray) -> np.ndarray:
         return self.fit(data).transform(data)
@@ -68,4 +81,4 @@ class MinMaxScaler:
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         if self.low_ is None or self.span_ is None:
             raise RuntimeError("scaler must be fitted before inverse_transform")
-        return np.atleast_2d(np.asarray(data, dtype=np.float64)) * self.span_ + self.low_
+        return _validated_2d(data, len(self.low_), "inverse_transform") * self.span_ + self.low_

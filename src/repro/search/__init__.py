@@ -5,6 +5,7 @@ from repro.search.progressive import (
     ProgressiveResult,
     progressive_pvt_search,
 )
+from repro.search.sizing import size_problem
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import (
     IterationRecord,
@@ -23,4 +24,5 @@ __all__ = [
     "TrustRegionConfig",
     "TrustRegionSearch",
     "progressive_pvt_search",
+    "size_problem",
 ]

@@ -1,11 +1,16 @@
 """End-to-end demo: size the two-stage Miller opamp under PVT corners.
 
-This wires the pieces of the reproduction together — the analytical opamp
-evaluator, the CSP specification, the trust-region agent and the progressive
-PVT loop — into the paper's headline experiment.  The default spec is
+This wires the pieces of the reproduction together — the topology registry,
+the CSP specification, the trust-region agent and the progressive PVT loop —
+into the paper's headline experiment.  The default spec (the ``nominal``
+tier of :class:`~repro.circuits.topologies.two_stage.TwoStageOpAmp`) is
 calibrated so uniform Monte-Carlo sampling satisfies it roughly once per
 5000 samples at the hardest corner: hard enough that guided search matters,
 small enough for a CI smoke test.
+
+Since the topology-zoo refactor the demo is a thin wrapper over
+:func:`repro.search.sizing.size_problem`; any other registered topology runs
+through the exact same path (see ``python -m repro.bench``).
 
 Run it directly::
 
@@ -17,20 +22,15 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.circuits.opamp import METRIC_NAMES, TwoStageOpAmp
-from repro.circuits.pvt import PVTCondition
-from repro.search.progressive import ProgressiveResult, progressive_pvt_search
+from repro.circuits.pvt import NOMINAL, PVTCondition
+from repro.search.progressive import ProgressiveResult
+from repro.search.sizing import size_problem
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import TrustRegionConfig
 
 #: Demo target: a 50 MHz, 80 dB, 60-degree-margin amplifier in under 300 uW,
-#: met at every sign-off corner.
-DEFAULT_SPECS = (
-    Spec("dc_gain_db", ">=", 80.0),
-    Spec("ugbw_hz", ">=", 50e6),
-    Spec("phase_margin_deg", ">=", 60.0),
-    Spec("power_w", "<=", 300e-6),
-    Spec("slew_v_per_s", ">=", 20e6),
-)
+#: met at every sign-off corner (the topology's ``nominal`` spec tier).
+DEFAULT_SPECS = TwoStageOpAmp(condition=NOMINAL).default_specs()["nominal"]
 
 
 def size_two_stage_opamp(
@@ -39,23 +39,22 @@ def size_two_stage_opamp(
     specs: Sequence[Spec] = DEFAULT_SPECS,
     corners: Optional[Sequence[PVTCondition]] = None,
     config: Optional[TrustRegionConfig] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> ProgressiveResult:
-    """Run the progressive trust-region sizing search for the opamp."""
-    if config is None:
-        config = TrustRegionConfig(seed=seed)
+    """Run the progressive trust-region sizing search for the opamp.
 
-    def factory(condition: PVTCondition):
-        return TwoStageOpAmp(technology, condition, load_cap).evaluate_batch
-
-    design_space = TwoStageOpAmp(technology, load_cap=load_cap).design_space()
-    return progressive_pvt_search(
-        evaluator_factory=factory,
-        design_space=design_space,
+    ``seed`` and ``config`` can no longer disagree: an explicit ``seed``
+    overrides ``config.seed`` (previously it was silently ignored), and
+    ``seed=None`` defers to the config.
+    """
+    return size_problem(
+        "two_stage_opamp",
+        technology=technology,
+        load_cap=load_cap,
         specs=specs,
-        metric_names=METRIC_NAMES,
         corners=corners,
         config=config,
+        seed=seed,
     )
 
 

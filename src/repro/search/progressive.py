@@ -10,7 +10,7 @@ every corner passes or the phase budget runs out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -53,6 +53,11 @@ class ProgressiveResult:
 
     def failing_corners(self) -> List[PVTCondition]:
         return [report.condition for report in self.corner_reports if not report.satisfied]
+
+    @property
+    def refit_seconds(self) -> float:
+        """Total surrogate-refit wall time across all phases."""
+        return sum(result.refit_seconds for result in self.phase_results)
 
 
 def _corner_metric_names(metric_names: Sequence[str], corner: PVTCondition) -> List[str]:
@@ -130,7 +135,10 @@ def progressive_pvt_search(
     for phase in range(max_phases):
         specification = _stacked_specification(specs, metric_names, active)
         evaluator = _stacked_evaluator([evaluators[corner.name] for corner in active])
-        phase_config = TrustRegionConfig(**{**config.__dict__, "seed": config.seed + phase})
+        # dataclasses.replace keeps working if the config ever gains
+        # non-init or derived fields, where reconstructing from __dict__
+        # would silently break.
+        phase_config = replace(config, seed=config.seed + phase)
         search = TrustRegionSearch(
             evaluator,
             design_space,

@@ -1,0 +1,107 @@
+"""Generic entry point: size any registered :class:`SizingProblem`.
+
+The trust-region agent and the progressive PVT loop are already generic over
+batch evaluators; this module closes the loop with the topology registry so
+one call sizes *any* workload in the zoo::
+
+    from repro.search.sizing import size_problem
+    result = size_problem("folded_cascode", tier="smoke", seed=0)
+
+It is the layer both the opamp demo and the ``repro.bench`` harness sit on,
+which keeps their RNG behaviour identical: a benchmark run of
+``two_stage_opamp`` at the ``nominal`` tier reproduces the historical demo
+bit-for-bit at the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional, Sequence, Type, Union
+
+from repro.circuits.pvt import PVTCondition
+from repro.search.progressive import ProgressiveResult, progressive_pvt_search
+from repro.search.spec import Spec
+from repro.search.trust_region import TrustRegionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuits.topologies import SizingProblem
+
+
+def resolve_config(
+    config: Optional[TrustRegionConfig], seed: Optional[int]
+) -> TrustRegionConfig:
+    """Combine the ``config``/``seed`` knobs without letting them disagree.
+
+    ``seed`` used to be silently ignored whenever an explicit ``config`` was
+    passed; now an explicit ``seed`` always wins (via
+    :func:`dataclasses.replace`), and ``seed=None`` means "use the config's
+    seed".
+    """
+    if config is None:
+        return TrustRegionConfig(seed=0 if seed is None else seed)
+    if seed is not None and seed != config.seed:
+        return replace(config, seed=seed)
+    return config
+
+
+def size_problem(
+    topology: Union[str, Type[SizingProblem]],
+    technology: str = "bsim45",
+    load_cap: float = 2e-12,
+    specs: Optional[Sequence[Spec]] = None,
+    tier: str = "nominal",
+    corners: Optional[Sequence[PVTCondition]] = None,
+    config: Optional[TrustRegionConfig] = None,
+    seed: Optional[int] = None,
+    max_phases: int = 4,
+) -> ProgressiveResult:
+    """Run the progressive trust-region sizing search on one topology.
+
+    Parameters
+    ----------
+    topology:
+        Registry name (see :func:`repro.circuits.topologies.available_topologies`)
+        or a :class:`SizingProblem` subclass.
+    technology, load_cap:
+        Forwarded to the topology constructor at every corner.
+    specs:
+        Explicit constraint set; defaults to the topology's ``default_specs()``
+        at the requested ``tier``.
+    tier:
+        Spec-ladder tier used when ``specs`` is not given.
+    corners:
+        Sign-off corner set; defaults to the nine-corner grid.
+    config, seed:
+        Trust-region hyper-parameters; an explicit ``seed`` overrides the
+        config's seed (see :func:`resolve_config`).
+    max_phases:
+        Progressive corner-hardening round budget.
+    """
+    # Imported lazily: the topology modules import repro.search.spec, so a
+    # module-level import here would be circular.
+    from repro.circuits.topologies import get_topology
+
+    problem_cls = get_topology(topology) if isinstance(topology, str) else topology
+
+    def factory(condition: PVTCondition):
+        return problem_cls(technology, condition, load_cap).evaluate_batch
+
+    nominal_problem = problem_cls(technology, load_cap=load_cap)
+    if specs is None:
+        ladder = nominal_problem.default_specs()
+        try:
+            specs = ladder[tier]
+        except KeyError:
+            raise KeyError(
+                f"topology {nominal_problem.name!r} has no spec tier {tier!r}; "
+                f"available: {', '.join(sorted(ladder))}"
+            ) from None
+    return progressive_pvt_search(
+        evaluator_factory=factory,
+        design_space=nominal_problem.design_space(),
+        specs=specs,
+        metric_names=nominal_problem.METRIC_NAMES,
+        corners=corners,
+        config=resolve_config(config, seed),
+        max_phases=max_phases,
+    )

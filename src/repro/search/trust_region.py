@@ -21,6 +21,7 @@ the budget is never spent on a repeat.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -78,6 +79,8 @@ class SearchResult:
     solved: bool
     evaluations: int
     history: List[IterationRecord] = field(default_factory=list)
+    #: Wall time spent refitting the surrogate, for benchmark accounting.
+    refit_seconds: float = 0.0
 
     def __repr__(self) -> str:
         status = "solved" if self.solved else "unsolved"
@@ -133,6 +136,8 @@ class TrustRegionSearch:
         self._surrogate: Optional[MLP] = None
         self._optimizer: Optional[Adam] = None
         self._output_scaler: Optional[StandardScaler] = None
+        # Cumulative surrogate-refit wall time (the repro.bench accounting).
+        self.refit_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -172,6 +177,7 @@ class TrustRegionSearch:
 
     # ------------------------------------------------------------------
     def _refit_surrogate(self, inputs: np.ndarray, metrics: np.ndarray, epochs: int) -> None:
+        started = time.perf_counter()
         unit_inputs = self.design_space.to_unit(inputs)
         if self._surrogate is None:
             self._surrogate = MLP(
@@ -194,6 +200,7 @@ class TrustRegionSearch:
             optimizer=self._optimizer,
             rng=self.rng,
         )
+        self.refit_seconds += time.perf_counter() - started
 
     def _predict_scores(self, candidates: np.ndarray) -> np.ndarray:
         unit = self.design_space.to_unit(candidates)
@@ -277,4 +284,5 @@ class TrustRegionSearch:
             solved=bool(self.specification.satisfied(best_metrics[np.newaxis, :])[0]),
             evaluations=self.evaluations,
             history=history,
+            refit_seconds=self.refit_seconds,
         )

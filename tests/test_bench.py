@@ -1,0 +1,186 @@
+"""Benchmark harness: registry, runner aggregation, JSON artifact, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchCase,
+    available_suites,
+    format_summary,
+    get_suite,
+    register_benchmark,
+    run_case,
+    run_suite,
+    write_bench_json,
+)
+from repro.bench.runner import main as bench_main
+
+
+class TestRegistry:
+    def test_builtin_suites(self):
+        assert {"smoke", "full", "tiny"} <= set(available_suites())
+
+    def test_smoke_suite_covers_four_topologies(self):
+        topologies = {case.topology for case in get_suite("smoke")}
+        assert len(topologies) >= 4
+
+    def test_unknown_suite_lists_available(self):
+        with pytest.raises(KeyError, match="smoke"):
+            get_suite("nope")
+
+    def test_unknown_corner_set_rejected(self):
+        with pytest.raises(ValueError):
+            BenchCase("ota_5t", "smoke", "everywhere")
+
+    def test_unknown_tier_rejected_at_registration(self):
+        with pytest.raises(ValueError, match="stretch"):
+            BenchCase("ota_5t", "strech", "hardest")
+
+    def test_case_name_is_stable_key(self):
+        case = BenchCase("ota_5t", "smoke", "nominal")
+        assert case.name == "ota_5t/smoke/nominal"
+
+    def test_case_name_disambiguates_non_defaults(self):
+        default = BenchCase("ota_5t", "stretch", "hardest")
+        budgeted = BenchCase("ota_5t", "stretch", "hardest", max_evaluations=800)
+        retargeted = BenchCase("ota_5t", "stretch", "hardest", load_cap=4e-12)
+        names = {default.name, budgeted.name, retargeted.name}
+        assert len(names) == 3, names
+        assert budgeted.name == "ota_5t/stretch/hardest@max_evaluations=800"
+
+    def test_register_benchmark_rejects_duplicates(self):
+        case = BenchCase("ota_5t", "stretch", "nominal")
+        register_benchmark("_test_suite", case)
+        try:
+            with pytest.raises(ValueError):
+                register_benchmark("_test_suite", case)
+        finally:
+            from repro.bench.registry import _SUITES
+
+            _SUITES.pop("_test_suite", None)
+
+    def test_corner_sets_resolve(self):
+        assert len(BenchCase("ota_5t", "smoke", "nine").corners()) == 9
+        assert len(BenchCase("ota_5t", "smoke", "hardest").corners()) == 1
+        assert BenchCase("ota_5t", "smoke", "nominal").corners()[0].process == "tt"
+
+    def test_config_carries_seed_and_budget(self):
+        config = BenchCase("ota_5t", "smoke", max_evaluations=123).config(seed=7)
+        assert config.seed == 7
+        assert config.max_evaluations == 123
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        (case,) = get_suite("tiny")
+        return run_case(case, seeds=[0, 1])
+
+    def test_case_record_structure(self, tiny_result):
+        assert tiny_result["name"].startswith("ota_5t/smoke/nominal")
+        assert tiny_result["design_dims"] == 5
+        assert 0.0 <= tiny_result["success_rate"] <= 1.0
+        assert len(tiny_result["per_seed"]) == 2
+        for record in tiny_result["per_seed"]:
+            assert set(record) == {
+                "seed",
+                "solved",
+                "evaluations",
+                "refit_seconds",
+                "wall_seconds",
+                "phases",
+                "best_sizing",
+            }
+            assert record["evaluations"] > 0
+            assert record["wall_seconds"] >= record["refit_seconds"] >= 0.0
+
+    def test_tiny_case_solves(self, tiny_result):
+        assert tiny_result["success_rate"] == 1.0
+        assert tiny_result["median_evaluations_to_feasible"] is not None
+
+    def test_median_is_over_solved_seeds_only(self):
+        case = BenchCase("ota_5t", "stretch", "nominal", max_evaluations=20, max_phases=1)
+        result = run_case(case, seeds=[0])
+        # A 20-evaluation budget cannot satisfy the stretch tier.
+        assert result["success_rate"] == 0.0
+        assert result["median_evaluations_to_feasible"] is None
+
+    def test_run_is_deterministic_per_seed(self):
+        (case,) = get_suite("tiny")
+        first = run_case(case, seeds=[3])["per_seed"][0]
+        second = run_case(case, seeds=[3])["per_seed"][0]
+        assert first["best_sizing"] == second["best_sizing"]
+        assert first["evaluations"] == second["evaluations"]
+
+    def test_suite_payload_and_artifact(self, tmp_path):
+        payload = run_suite("tiny", seeds=[0])
+        assert payload["schema"] == SCHEMA
+        assert payload["suite"] == "tiny"
+        assert payload["seeds"] == [0]
+        assert payload["totals"]["cases"] == len(payload["cases"])
+        path = tmp_path / "BENCH_tiny.json"
+        write_bench_json(payload, str(path))
+        assert json.loads(path.read_text()) == payload
+        summary = format_summary(payload)
+        assert "ota_5t/smoke/nominal" in summary
+
+
+class TestCLI:
+    def test_cli_writes_artifact(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = bench_main(["--suite", "tiny", "--seeds", "1", "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["seeds"] == [0]
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+    def test_cli_rejects_bad_seed_count(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(["--suite", "tiny", "--seeds", "0"])
+
+    def test_cli_fail_under_gates_regressions(self, tmp_path):
+        """The CI gate must go red when cases stop solving."""
+        from repro.bench.registry import _SUITES
+
+        _SUITES["_gate_test"] = [
+            # A 20-evaluation budget cannot satisfy the stretch tier.
+            BenchCase("ota_5t", "stretch", "nominal", max_evaluations=20, max_phases=1)
+        ]
+        try:
+            args = ["--suite", "_gate_test", "--seeds", "1",
+                    "--output", str(tmp_path / "gate.json")]
+            assert bench_main(args + ["--fail-under", "1.0"]) == 1
+            assert bench_main(args) == 0  # default: report, don't gate
+        finally:
+            _SUITES.pop("_gate_test", None)
+
+    def test_cli_rejects_bad_fail_under(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(["--suite", "tiny", "--fail-under", "1.5"])
+
+    def test_cli_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            bench_main(["--suite", "definitely_not_a_suite"])
+
+
+class TestDemoParity:
+    def test_smoke_two_stage_matches_opamp_demo_at_seed_zero(self):
+        """The bench harness must reproduce the historical demo bit-for-bit:
+        same progressive search, same RNG stream, same winning sizing."""
+        from repro.search.opamp_demo import size_two_stage_opamp
+
+        demo = size_two_stage_opamp(seed=0)
+        case = next(
+            case for case in get_suite("smoke") if case.topology == "two_stage_opamp"
+        )
+        bench = run_case(case, seeds=[0])["per_seed"][0]
+        assert bench["solved"] and demo.solved_all_corners
+        assert bench["evaluations"] == demo.evaluations
+        np.testing.assert_array_equal(
+            list(bench["best_sizing"].values()), list(demo.best_sizing.values())
+        )

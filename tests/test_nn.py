@@ -1,6 +1,7 @@
 """NN library: training convergence and optimizer-state persistence."""
 
 import numpy as np
+import pytest
 
 from repro.nn import MLP, Adam, StandardScaler, train_regressor
 
@@ -50,3 +51,30 @@ def test_standard_scaler_round_trip():
     np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
     constant = np.ones((10, 2))
     np.testing.assert_allclose(StandardScaler().fit_transform(constant), 0.0)
+
+
+def test_scalers_reject_wrong_feature_count():
+    """Broadcasting used to 'normalise' mismatched arrays into garbage."""
+    from repro.nn.scalers import MinMaxScaler
+
+    rng = np.random.default_rng(5)
+    data = rng.normal(size=(32, 4))
+    for scaler in (StandardScaler().fit(data), MinMaxScaler().fit(data)):
+        for bad in (rng.normal(size=(8, 3)), rng.normal(size=(8, 5)), rng.normal(size=4 * 8)):
+            with pytest.raises(ValueError):
+                scaler.transform(bad)
+            with pytest.raises(ValueError):
+                scaler.inverse_transform(bad)
+        # The fitted width still passes, including a single flat vector.
+        assert scaler.transform(data).shape == data.shape
+        assert scaler.transform(data[0]).shape == (1, 4)
+
+
+def test_unfitted_scalers_raise():
+    from repro.nn.scalers import MinMaxScaler
+
+    for scaler in (StandardScaler(), MinMaxScaler()):
+        with pytest.raises(RuntimeError):
+            scaler.transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            scaler.inverse_transform(np.ones((2, 2)))

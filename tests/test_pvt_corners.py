@@ -1,0 +1,98 @@
+"""Skewed process corners (fs/sf) and their effect on the topology zoo.
+
+The tt/ff/ss corners are exercised by the search tests; these cover the
+cross corners where NMOS and PMOS move in *opposite* directions, which is
+exactly where a symmetric-derating bug would hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.process import get_technology
+from repro.circuits.pvt import (
+    PROCESS_CORNERS,
+    PVTCondition,
+    full_corner_grid,
+    rank_by_severity,
+)
+from repro.circuits.topologies import FiveTransistorOTA, available_topologies, get_topology
+
+
+class TestSkewedCornerDerating:
+    def test_fs_speeds_nmos_and_slows_pmos(self):
+        card = get_technology("bsim45")
+        derated = PVTCondition("fs").apply(card)
+        assert derated.kp_n > card.kp_n
+        assert derated.kp_p < card.kp_p
+        assert derated.vth_n < card.vth_n
+        assert derated.vth_p > card.vth_p
+
+    def test_sf_slows_nmos_and_speeds_pmos(self):
+        card = get_technology("bsim45")
+        derated = PVTCondition("sf").apply(card)
+        assert derated.kp_n < card.kp_n
+        assert derated.kp_p > card.kp_p
+        assert derated.vth_n > card.vth_n
+        assert derated.vth_p < card.vth_p
+
+    def test_fs_and_sf_are_mirror_images(self):
+        mob_n_fs, mob_p_fs, dvth_n_fs, dvth_p_fs = PROCESS_CORNERS["fs"]
+        mob_n_sf, mob_p_sf, dvth_n_sf, dvth_p_sf = PROCESS_CORNERS["sf"]
+        assert mob_n_fs == mob_p_sf and mob_p_fs == mob_n_sf
+        assert dvth_n_fs == dvth_p_sf and dvth_p_fs == dvth_n_sf
+
+    def test_skewed_corners_in_full_grid(self):
+        processes = {condition.process for condition in full_corner_grid()}
+        assert {"fs", "sf"} <= processes
+
+    def test_skewed_severity_between_ff_and_ss(self):
+        """Cross corners are harder than all-fast, easier than all-slow."""
+        severity = {
+            name: PVTCondition(name).severity() for name in ("ff", "fs", "sf", "ss")
+        }
+        assert severity["ff"] < severity["fs"] < severity["ss"]
+        assert severity["ff"] < severity["sf"] < severity["ss"]
+
+    def test_rank_by_severity_handles_skewed(self):
+        corners = [PVTCondition(p) for p in ("tt", "fs", "sf", "ss", "ff")]
+        ranked = rank_by_severity(corners)
+        assert ranked[0].process == "ss"
+        assert ranked[-1].process == "ff"
+
+
+@pytest.mark.parametrize("name", ["fs", "sf"])
+class TestTopologiesAtSkewedCorners:
+    def test_all_topologies_finite(self, name):
+        condition = PVTCondition(name, 0.9, 125.0)
+        for topology in available_topologies():
+            problem = get_topology(topology)(condition=condition)
+            samples = problem.design_space().sample(np.random.default_rng(2), 200)
+            metrics = problem.evaluate_batch(samples)
+            assert np.all(np.isfinite(metrics)), f"{topology} non-finite at {name}"
+
+    def test_mna_cross_check_holds(self, name):
+        """Closed-form vs MNA agreement survives asymmetric derating."""
+        condition = PVTCondition(name, 0.9, 125.0)
+        for topology in available_topologies():
+            problem = get_topology(topology)(condition=condition)
+            space = problem.design_space()
+            sizing = space.from_unit(np.full(space.dimension, 0.5))
+            analytic = problem.evaluate(sizing)
+            numeric = problem.mna_metrics(sizing)
+            assert analytic["dc_gain_db"] == pytest.approx(
+                numeric["dc_gain_db"], abs=0.1
+            ), topology
+            assert analytic["ugbw_hz"] == pytest.approx(numeric["ugbw_hz"], rel=0.05), topology
+            assert analytic["phase_margin_deg"] == pytest.approx(
+                numeric["phase_margin_deg"], abs=3.0
+            ), topology
+
+
+class TestSkewAsymmetry:
+    def test_nmos_input_ota_prefers_fs_over_sf(self):
+        """The 5T OTA's input gm is NMOS: fast-NMOS must beat fast-PMOS."""
+        space = FiveTransistorOTA().design_space()
+        sizing = space.from_unit(np.full(space.dimension, 0.5))
+        fs = FiveTransistorOTA(condition=PVTCondition("fs")).evaluate(sizing)
+        sf = FiveTransistorOTA(condition=PVTCondition("sf")).evaluate(sizing)
+        assert fs["ugbw_hz"] > sf["ugbw_hz"]

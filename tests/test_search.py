@@ -165,3 +165,24 @@ class TestOpampSizingEndToEnd:
         # Sized at the hardest corner first (Section IV-E).
         hardest = hardest_condition(nine_corner_grid())
         assert result.active_corners[0].name == hardest.name
+
+
+class TestResolveConfig:
+    """`seed` used to be silently ignored when a config was passed."""
+
+    def test_explicit_seed_overrides_config(self):
+        from repro.search.sizing import resolve_config
+
+        config = TrustRegionConfig(seed=3, max_evaluations=123)
+        resolved = resolve_config(config, seed=9)
+        assert resolved.seed == 9
+        assert resolved.max_evaluations == 123  # everything else preserved
+        assert config.seed == 3  # original untouched
+
+    def test_none_seed_defers_to_config(self):
+        from repro.search.sizing import resolve_config
+
+        config = TrustRegionConfig(seed=3)
+        assert resolve_config(config, seed=None) is config
+        assert resolve_config(None, seed=None).seed == 0
+        assert resolve_config(None, seed=5).seed == 5
