@@ -16,6 +16,7 @@ from repro.bench.registry import (
 )
 from repro.bench.runner import (
     SCHEMA,
+    cross_check,
     format_summary,
     run_case,
     run_suite,
@@ -27,6 +28,7 @@ __all__ = [
     "CORNER_SETS",
     "SCHEMA",
     "available_suites",
+    "cross_check",
     "format_summary",
     "get_suite",
     "register_benchmark",

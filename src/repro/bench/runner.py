@@ -11,28 +11,32 @@ numbers the ROADMAP tracks per PR:
 * **surrogate-refit seconds** — wall time inside the incremental MLP refits;
 * **wall seconds** — end-to-end search time.
 
-The JSON artifact schema is ``repro.bench/v1`` (see README "Benchmarking"):
+The JSON artifact schema is ``repro.bench/v2`` (see README "Benchmarking").
+Relative to v1 it adds the surrogate-training ``backend`` both at the top
+level and per case, so regressions can always be attributed to the right
+training path:
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v1",
+      "schema": "repro.bench/v2",
       "suite": "smoke",
       "seeds": [0, 1, 2],
+      "backend": "fused",
       "cases": [
         {
           "name": "two_stage_opamp/nominal/nine",
           "topology": "two_stage_opamp", "tier": "nominal",
-          "corner_set": "nine", "design_dims": 8,
+          "corner_set": "nine", "design_dims": 8, "backend": "fused",
           "success_rate": 1.0,
-          "median_evaluations_to_feasible": 120,
-          "mean_refit_seconds": 0.27, "mean_wall_seconds": 1.4,
-          "per_seed": [{"seed": 0, "solved": true, "evaluations": 120,
-                        "refit_seconds": 0.27, "wall_seconds": 1.4,
-                        "phases": 1, "best_sizing": {"w1": 4.3e-05}}]
+          "median_evaluations_to_feasible": 113,
+          "mean_refit_seconds": 0.04, "mean_wall_seconds": 0.06,
+          "per_seed": [{"seed": 0, "solved": true, "evaluations": 169,
+                        "refit_seconds": 0.05, "wall_seconds": 0.07,
+                        "phases": 2, "best_sizing": {"w1": 4.6e-05}}]
         }
       ],
-      "totals": {"cases": 4, "solved_fraction": 1.0, "wall_seconds": 12.3}
+      "totals": {"cases": 4, "solved_fraction": 1.0, "wall_seconds": 0.9}
     }
 """
 
@@ -40,6 +44,7 @@ from __future__ import annotations
 
 import json
 import time
+from dataclasses import replace
 from statistics import median
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -47,15 +52,25 @@ from repro.bench.registry import BenchCase, get_suite
 from repro.circuits.topologies import get_topology
 from repro.search.sizing import size_problem
 
-SCHEMA = "repro.bench/v1"
+SCHEMA = "repro.bench/v2"
 
 
-def run_case(case: BenchCase, seeds: Sequence[int]) -> Dict[str, Any]:
-    """Run one benchmark case across seeds and aggregate the statistics."""
+def run_case(
+    case: BenchCase, seeds: Sequence[int], backend: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run one benchmark case across seeds and aggregate the statistics.
+
+    ``backend`` overrides the surrogate-training backend of every seed's
+    config (``None`` keeps the case default, i.e. the library default).
+    """
     problem_cls = get_topology(case.topology)
     design_dims = len(problem_cls.VARIABLE_NAMES)
     per_seed: List[Dict[str, Any]] = []
+    effective_backend = backend if backend is not None else case.config(0).backend
     for seed in seeds:
+        config = case.config(seed)
+        if backend is not None:
+            config = replace(config, backend=backend)
         started = time.perf_counter()
         result = size_problem(
             case.topology,
@@ -63,7 +78,7 @@ def run_case(case: BenchCase, seeds: Sequence[int]) -> Dict[str, Any]:
             load_cap=case.load_cap,
             tier=case.tier,
             corners=case.corners(),
-            config=case.config(seed),
+            config=config,
             max_phases=case.max_phases,
         )
         wall = time.perf_counter() - started
@@ -87,6 +102,7 @@ def run_case(case: BenchCase, seeds: Sequence[int]) -> Dict[str, Any]:
         "corner_set": case.corner_set,
         "technology": case.technology,
         "design_dims": design_dims,
+        "backend": effective_backend,
         "success_rate": len(solved) / len(per_seed) if per_seed else 0.0,
         "median_evaluations_to_feasible": (
             int(median(record["evaluations"] for record in solved)) if solved else None
@@ -105,17 +121,23 @@ def run_case(case: BenchCase, seeds: Sequence[int]) -> Dict[str, Any]:
     }
 
 
-def run_suite(suite: str = "smoke", seeds: Sequence[int] = (0, 1, 2)) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v1`` payload."""
+def run_suite(
+    suite: str = "smoke",
+    seeds: Sequence[int] = (0, 1, 2),
+    backend: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run every case of a suite; returns the ``repro.bench/v2`` payload."""
     cases = get_suite(suite)
     started = time.perf_counter()
-    case_results = [run_case(case, seeds) for case in cases]
+    case_results = [run_case(case, seeds, backend=backend) for case in cases]
     wall = time.perf_counter() - started
     runs = [record for result in case_results for record in result["per_seed"]]
+    case_backends = {result["backend"] for result in case_results}
     return {
         "schema": SCHEMA,
         "suite": suite,
         "seeds": [int(seed) for seed in seeds],
+        "backend": next(iter(case_backends)) if len(case_backends) == 1 else "mixed",
         "cases": case_results,
         "totals": {
             "cases": len(case_results),
@@ -134,10 +156,67 @@ def write_bench_json(payload: Dict[str, Any], path: str) -> None:
         handle.write("\n")
 
 
+#: The cross-check speed guard passes while the fused refit stays under
+#: this fraction of the autodiff refit.  The real ratio is ~0.4 (fused is
+#: ~2.5-3x faster end to end), so 0.75 keeps the guard meaningful while
+#: absorbing scheduler stalls on shared CI runners — the refit totals are
+#: only tens of milliseconds per run.
+CROSS_CHECK_MAX_RATIO = 0.75
+
+
+def cross_check(suite: str = "tiny", seed: int = 0) -> int:
+    """Fused-vs-autodiff guard on one case; returns a process exit code.
+
+    Runs the first case of ``suite`` once per backend at the same seed and
+    checks two invariants:
+
+    * **parity** — the backends are bit-identical per training step, so the
+      search trajectories must agree exactly (same evaluations, same
+      winning sizing);
+    * **speed** — the fused refit must stay under
+      ``CROSS_CHECK_MAX_RATIO`` of the autodiff refit on the same
+      trajectory.  The comparison is relative, on the same machine and the
+      same case, so the guard does not flake with host speed.  The
+      autodiff run goes first so the fused measurement never pays the
+      process warm-up.
+    """
+    case = get_suite(suite)[0]
+    autodiff = run_case(case, seeds=[seed], backend="autodiff")["per_seed"][0]
+    fused = run_case(case, seeds=[seed], backend="fused")["per_seed"][0]
+    parity = (
+        fused["best_sizing"] == autodiff["best_sizing"]
+        and fused["evaluations"] == autodiff["evaluations"]
+        and fused["solved"] == autodiff["solved"]
+    )
+    faster = fused["refit_seconds"] <= CROSS_CHECK_MAX_RATIO * autodiff["refit_seconds"]
+    print(
+        f"cross-check {case.name} seed {seed}: "
+        f"fused refit {fused['refit_seconds']:.3f}s "
+        f"vs autodiff {autodiff['refit_seconds']:.3f}s"
+    )
+    if not parity:
+        print(
+            "FAIL: backends diverged — "
+            f"evaluations {fused['evaluations']} vs {autodiff['evaluations']}, "
+            f"solved {fused['solved']} vs {autodiff['solved']}"
+        )
+    if not faster:
+        print(
+            f"FAIL: fused refit above {CROSS_CHECK_MAX_RATIO:.2f}x "
+            "of the autodiff reference"
+        )
+    if parity and faster:
+        print(
+            f"parity OK, fused refit <= {CROSS_CHECK_MAX_RATIO:.2f}x autodiff refit"
+        )
+    return 0 if parity and faster else 1
+
+
 def format_summary(payload: Dict[str, Any]) -> str:
     """Human-readable one-line-per-case table for CLI output."""
     lines = [
         f"suite {payload['suite']!r} | seeds {payload['seeds']} "
+        f"| backend {payload['backend']} "
         f"| {payload['totals']['wall_seconds']:.1f} s total",
         f"{'case':42s} {'dims':>4s} {'succ':>6s} {'evals':>6s} "
         f"{'refit_s':>8s} {'wall_s':>7s}",
@@ -177,7 +256,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--seeds",
         type=int,
-        default=3,
+        default=None,
         metavar="N",
         help="number of seeds (0..N-1) per case (default: 3)",
     )
@@ -195,13 +274,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit nonzero when the solved fraction falls below this "
         "threshold (default: 0.0, i.e. never fail; CI gates pass 1.0)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("fused", "autodiff"),
+        help="surrogate training backend override (default: the library "
+        "default, fused; autodiff is the reference oracle)",
+    )
+    parser.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="instead of running the suite, run its first case once per "
+        "backend and verify trajectory parity plus fused refit <= autodiff "
+        "refit (the CI backend guard)",
+    )
     args = parser.parse_args(argv)
-    if args.seeds < 1:
+
+    if args.cross_check:
+        # The guard has its own fixed protocol (one seed, both backends, no
+        # artifact); reject flags it would silently ignore.
+        dropped = [
+            flag
+            for flag, value in (
+                ("--seeds", args.seeds),
+                ("--output", args.output),
+                ("--backend", args.backend),
+            )
+            if value is not None
+        ]
+        if args.fail_under != 0.0:
+            dropped.append("--fail-under")
+        if dropped:
+            parser.error(f"--cross-check does not accept {', '.join(dropped)}")
+        return cross_check(args.suite)
+
+    seeds = 3 if args.seeds is None else args.seeds
+    if seeds < 1:
         parser.error("--seeds must be at least 1")
     if not 0.0 <= args.fail_under <= 1.0:
         parser.error("--fail-under must be within [0, 1]")
 
-    payload = run_suite(args.suite, seeds=range(args.seeds))
+    payload = run_suite(args.suite, seeds=range(seeds), backend=args.backend)
     output = args.output or f"BENCH_{args.suite}.json"
     write_bench_json(payload, output)
     print(format_summary(payload))

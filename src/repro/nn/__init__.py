@@ -1,12 +1,21 @@
 """NumPy neural-network library used by the surrogate and the RL baselines."""
 
+from repro.nn.fused import FusedAdam, FusedMLP
 from repro.nn.losses import huber_loss, mae_loss, mse_loss
 from repro.nn.modules import MLP, Activation, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 from repro.nn.scalers import MinMaxScaler, StandardScaler
-from repro.nn.training import TrainingHistory, iterate_minibatches, train_regressor
+from repro.nn.training import (
+    BACKENDS,
+    TrainingHistory,
+    iterate_minibatches,
+    train_regressor,
+)
 
 __all__ = [
+    "BACKENDS",
+    "FusedAdam",
+    "FusedMLP",
     "MLP",
     "Activation",
     "Linear",

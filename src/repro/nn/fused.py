@@ -1,0 +1,403 @@
+"""Fused pure-NumPy training backend for the surrogate MLP.
+
+The autodiff path (:mod:`repro.autodiff`) builds a Python-object graph for
+every minibatch — hundreds of ``Tensor`` allocations, backward closures and a
+topological sort per step.  For the tiny fixed-architecture MLP the search
+refits every iteration (Algorithm 1, line 8) that bookkeeping *is* the cost:
+the smoke benchmark spends ~90% of its wall time inside ``train_regressor``.
+
+:class:`FusedMLP` removes it.  The forward pass, the hand-derived backward
+pass (Linear / tanh / relu / sigmoid stacks under an MSE loss) and a
+flat-buffer :class:`FusedAdam` all operate on one concatenated ``float64``
+parameter vector, so a training step is a fixed, small sequence of NumPy
+calls with no per-op Python structures.
+
+Every floating-point expression below is written to match the autodiff
+engine's backward pass operation for operation (same order, same
+power-of-two factors), so the two backends produce **bit-identical** losses,
+gradients and post-Adam weights on the same minibatch stream.  That property
+is what lets the search switch backend without re-locking its trajectories,
+and it is enforced by ``tests/test_fused.py``.
+
+Weights round-trip with the autodiff :class:`~repro.nn.modules.MLP` via
+:meth:`FusedMLP.from_module` / :meth:`FusedMLP.to_module`, and the
+``state_dict`` layout (``param_0`` = first weight, ``param_1`` = first bias,
+...) is interchangeable between the two classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.modules import MLP, Activation, Linear
+
+
+class FusedMLP:
+    """An MLP whose parameters live in one flat ``float64`` buffer.
+
+    Accepts the same constructor arguments as :class:`repro.nn.modules.MLP`
+    and performs the same RNG draws, so ``FusedMLP(..., rng=g)`` and
+    ``MLP(..., rng=g2)`` with identically-seeded generators start from
+    bit-identical weights.
+
+    Attributes
+    ----------
+    theta:
+        The concatenated parameter vector.  Per-layer weight/bias arrays are
+        *views* into it, so a flat optimizer step updates the layers in place.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        activation: str = "tanh",
+        output_activation: str = "identity",
+        rng: Optional[np.random.Generator] = None,
+        init: str = "xavier",
+    ) -> None:
+        # Delegate initialization to the reference module so the two classes
+        # can never drift on init schemes or RNG draw order.
+        template = MLP(
+            in_features,
+            hidden,
+            out_features,
+            activation=activation,
+            output_activation=output_activation,
+            rng=rng,
+            init=init,
+        )
+        self._adopt(template)
+
+    # ------------------------------------------------------------------
+    # Construction / module interop
+    # ------------------------------------------------------------------
+    def _adopt(self, module: MLP) -> None:
+        """Read architecture and weights out of an autodiff MLP."""
+        linears: List[Linear] = []
+        activations: List[str] = []
+        for layer in module.body.layers:
+            if isinstance(layer, Linear):
+                linears.append(layer)
+                activations.append("identity")
+            elif isinstance(layer, Activation):
+                if not linears:
+                    raise ValueError("activation before the first Linear layer")
+                activations[-1] = layer.name
+            else:
+                raise TypeError(
+                    f"FusedMLP only supports Linear/Activation stacks, got {type(layer).__name__}"
+                )
+        if not linears:
+            raise ValueError("module has no Linear layers")
+
+        self.in_features = module.in_features
+        self.out_features = module.out_features
+        self.hidden = module.hidden
+        self._activations: Tuple[str, ...] = tuple(activations)
+        self._shapes: List[Tuple[int, int]] = [
+            (layer.in_features, layer.out_features) for layer in linears
+        ]
+
+        total = sum(i * o + o for i, o in self._shapes)
+        self.theta = np.empty(total, dtype=np.float64)
+        # The per-step gradient lives in a single reusable buffer; per-layer
+        # weight/bias gradients are views into it so the backward pass can
+        # write matmul results straight into place with ``out=``.  The array
+        # returned by :meth:`loss_and_grad` is therefore only valid until the
+        # next call — copy it to keep it.
+        self._grad = np.empty(total, dtype=np.float64)
+        # Per-batch-size scratch buffers for every forward/backward
+        # intermediate (see _scratch_for); the training step performs no
+        # heap allocation after the first batch of a given size.
+        self._scratch: Dict[int, tuple] = {}
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._grad_weights: List[np.ndarray] = []
+        self._grad_biases: List[np.ndarray] = []
+        offset = 0
+        for layer, (fan_in, fan_out) in zip(linears, self._shapes):
+            w_slice = slice(offset, offset + fan_in * fan_out)
+            offset += fan_in * fan_out
+            b_slice = slice(offset, offset + fan_out)
+            offset += fan_out
+            weight = self.theta[w_slice].reshape(fan_in, fan_out)
+            bias = self.theta[b_slice]
+            weight[...] = layer.weight.data
+            bias[...] = layer.bias.data
+            self._weights.append(weight)
+            self._biases.append(bias)
+            self._grad_weights.append(self._grad[w_slice].reshape(fan_in, fan_out))
+            self._grad_biases.append(self._grad[b_slice])
+
+    @classmethod
+    def from_module(cls, module: MLP) -> "FusedMLP":
+        """Build a fused copy of an autodiff MLP (weights are copied)."""
+        fused = cls.__new__(cls)
+        fused._adopt(module)
+        return fused
+
+    def to_module(self, module: Optional[MLP] = None) -> MLP:
+        """Write the flat weights into an autodiff MLP (new one by default)."""
+        if module is None:
+            module = MLP(
+                self.in_features,
+                self.hidden,
+                self.out_features,
+                activation=self._activations[0] if len(self._activations) > 1 else "tanh",
+                output_activation=self._activations[-1],
+            )
+        module.load_state_dict(self.state_dict())
+        return module
+
+    # ------------------------------------------------------------------
+    # Serialization (interchangeable with Module.state_dict)
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.theta.size
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameter arrays in ``MLP.parameters()`` order (W0, b0, W1, ...)."""
+        state: Dict[str, np.ndarray] = {}
+        index = 0
+        for weight, bias in zip(self._weights, self._biases):
+            state[f"param_{index}"] = weight.copy()
+            state[f"param_{index + 1}"] = bias.copy()
+            index += 2
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        arrays = [self._weights[i // 2] if i % 2 == 0 else self._biases[i // 2]
+                  for i in range(2 * len(self._weights))]
+        if len(state) != len(arrays):
+            raise ValueError(
+                f"state has {len(state)} entries but model has {len(arrays)} parameters"
+            )
+        for i, target in enumerate(arrays):
+            incoming = np.asarray(state[f"param_{i}"], dtype=np.float64)
+            if incoming.shape != target.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {incoming.shape} vs {target.shape}"
+                )
+            target[...] = incoming
+
+    # ------------------------------------------------------------------
+    # Forward / fused backward
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference forward pass on raw arrays."""
+        if not (isinstance(x, np.ndarray) and x.ndim == 2 and x.dtype == np.float64):
+            x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        h = x
+        for weight, bias, act in zip(self._weights, self._biases, self._activations):
+            h = Activation.apply_numpy(act, h @ weight + bias)
+        return h
+
+    __call__ = predict
+
+    def _scratch_for(self, rows: int) -> tuple:
+        """Reusable per-layer buffers for a given minibatch row count.
+
+        ``z``/``a`` hold pre-/post-activation values (aliased for identity
+        layers), ``g`` the backward gradients per layer, ``tmp`` activation-
+        derivative workspace (the last entry doubles as the squared-error
+        buffer).  Allocated once per distinct batch size, then reused.
+        """
+        cached = self._scratch.get(rows)
+        if cached is None:
+            z_buffers, a_buffers, g_buffers, tmp_buffers = [], [], [], []
+            for (_, fan_out), act in zip(self._shapes, self._activations):
+                z = np.empty((rows, fan_out))
+                z_buffers.append(z)
+                a_buffers.append(z if act == "identity" else np.empty((rows, fan_out)))
+                g_buffers.append(np.empty((rows, fan_out)))
+                tmp_buffers.append(np.empty((rows, fan_out)))
+            cached = (z_buffers, a_buffers, g_buffers, tmp_buffers)
+            self._scratch[rows] = cached
+        return cached
+
+    def loss_and_grad(self, inputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        """One fused MSE step: scalar loss plus the flat gradient vector.
+
+        The expressions mirror the autodiff chain for
+        ``mse_loss(model(Tensor(x)), Tensor(y)).backward()`` term by term:
+        the mean splits into ``sum * (1/size)``, the squared difference
+        contributes its gradient twice (``g + g`` rather than ``2*g`` — the
+        same bits either way), and each layer differentiates in the same
+        operand order as the Tensor closures.  Every intermediate lands in a
+        per-batch-size scratch buffer via ``out=``, so a step is a fixed
+        sequence of allocation-free NumPy calls.
+
+        The returned gradient is a reusable internal buffer, overwritten by
+        the next ``loss_and_grad`` call; copy it if you need to keep it.
+        """
+        if not (isinstance(inputs, np.ndarray) and inputs.ndim == 2
+                and inputs.dtype == np.float64):
+            inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if not (isinstance(targets, np.ndarray) and targets.ndim == 2
+                and targets.dtype == np.float64):
+            targets = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        weights, biases, activations = self._weights, self._biases, self._activations
+        last = len(weights) - 1
+        if targets.shape != (inputs.shape[0], weights[last].shape[1]):
+            raise ValueError(
+                f"targets shape {targets.shape} does not match "
+                f"({inputs.shape[0]}, {weights[last].shape[1]})"
+            )
+        z_buffers, a_buffers, g_buffers, tmp_buffers = self._scratch_for(inputs.shape[0])
+
+        # Forward, caching pre- and post-activation values per layer.
+        h = inputs
+        for index in range(last + 1):
+            z = z_buffers[index]
+            np.matmul(h, weights[index], out=z)
+            np.add(z, biases[index], out=z)
+            act = activations[index]
+            if act == "tanh":
+                h = np.tanh(z, out=a_buffers[index])
+            elif act == "relu":
+                h = np.maximum(z, 0.0, out=a_buffers[index])
+            elif act == "sigmoid":
+                a = a_buffers[index]
+                np.negative(z, out=a)
+                np.exp(a, out=a)
+                np.add(a, 1.0, out=a)
+                h = np.divide(1.0, a, out=a)
+            else:
+                h = z
+        prediction = h
+
+        # Loss and its gradient seed.
+        diff = g_buffers[last]
+        np.subtract(prediction, targets, out=diff)
+        squared = tmp_buffers[last]
+        np.multiply(diff, diff, out=squared)
+        inv_count = 1.0 / diff.size
+        loss = float(squared.sum() * inv_count)
+        np.multiply(diff, inv_count, out=diff)
+        grad_out = np.add(diff, diff, out=diff)
+
+        # Backward through the stack, writing straight into the flat grad.
+        for index in range(last, -1, -1):
+            act = activations[index]
+            if act == "tanh":
+                a, tmp = a_buffers[index], tmp_buffers[index]
+                np.multiply(a, a, out=tmp)
+                np.subtract(1.0, tmp, out=tmp)
+                np.multiply(grad_out, tmp, out=grad_out)
+            elif act == "relu":
+                np.multiply(grad_out, z_buffers[index] > 0.0, out=grad_out)
+            elif act == "sigmoid":
+                a, tmp = a_buffers[index], tmp_buffers[index]
+                np.multiply(grad_out, a, out=grad_out)
+                np.subtract(1.0, a, out=tmp)
+                np.multiply(grad_out, tmp, out=grad_out)
+            h = inputs if index == 0 else a_buffers[index - 1]
+            np.matmul(h.T, grad_out, out=self._grad_weights[index])
+            np.add.reduce(grad_out, axis=0, out=self._grad_biases[index])
+            if index > 0:
+                grad_out = np.matmul(grad_out, weights[index].T, out=g_buffers[index - 1])
+        return loss, self._grad
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        optimizer: "FusedAdam",
+        rng: np.random.Generator,
+    ) -> List[float]:
+        """Tight minibatch-Adam loop; returns the per-epoch mean losses.
+
+        Matches :func:`repro.nn.training.iterate_minibatches` semantics and
+        RNG consumption exactly (one permutation drawn per epoch, batches
+        taken in permuted order), but gathers each epoch's shuffle once and
+        hands contiguous slices to :meth:`loss_and_grad` — the same bits at
+        a fraction of the per-batch Python overhead.
+        """
+        count = inputs.shape[0]
+        loss_and_grad = self.loss_and_grad
+        step = optimizer.step
+        epoch_losses: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(count)
+            shuffled_x = inputs[order]
+            shuffled_y = targets[order]
+            losses = []
+            for start in range(0, count, batch_size):
+                stop = start + batch_size
+                loss, grad = loss_and_grad(shuffled_x[start:stop], shuffled_y[start:stop])
+                step(grad)
+                losses.append(loss)
+            epoch_losses.append(float(np.mean(losses)))
+        return epoch_losses
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedMLP(in={self.in_features}, hidden={self.hidden}, "
+            f"out={self.out_features}, params={self.num_parameters})"
+        )
+
+
+class FusedAdam:
+    """Adam over one flat parameter vector.
+
+    Performs the same elementwise update sequence as
+    :class:`repro.nn.optim.Adam` (same ``m``/``v`` recurrences, same bias
+    correction, same epsilon placement), just on the concatenated buffer —
+    so its steps are bit-identical to the per-parameter optimizer's.
+    """
+
+    def __init__(
+        self,
+        model: FusedMLP,
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.model = model
+        self.theta = model.theta
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = np.zeros_like(self.theta)
+        self._v = np.zeros_like(self.theta)
+        # Scratch buffers so a step performs zero heap allocations; every
+        # ``out=`` rewrite below computes the same value, in the same
+        # rounding order, as the plain-expression per-parameter optimizer.
+        self._s1 = np.empty_like(self.theta)
+        self._s2 = np.empty_like(self.theta)
+        self._t = 0
+
+    def step(self, grad: np.ndarray) -> None:
+        """Apply one Adam update for the given flat gradient."""
+        if grad.shape != self.theta.shape:
+            raise ValueError(f"gradient shape {grad.shape} vs theta {self.theta.shape}")
+        self._t += 1
+        if self.weight_decay:
+            grad = grad + self.weight_decay * self.theta
+        m, v, s1, s2 = self._m, self._v, self._s1, self._s2
+        # m = beta1*m + (1-beta1)*grad
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=s1)
+        np.add(m, s1, out=m)
+        # v = beta2*v + (1-beta2)*grad^2
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(grad, grad, out=s1)
+        np.multiply(s1, 1.0 - self.beta2, out=s1)
+        np.add(v, s1, out=v)
+        # theta -= lr * m_hat / (sqrt(v_hat) + eps)
+        np.divide(m, 1.0 - self.beta1 ** self._t, out=s1)
+        np.divide(v, 1.0 - self.beta2 ** self._t, out=s2)
+        np.sqrt(s2, out=s2)
+        np.add(s2, self.eps, out=s2)
+        np.multiply(s1, self.lr, out=s1)
+        np.divide(s1, s2, out=s1)
+        np.subtract(self.theta, s1, out=self.theta)

@@ -105,6 +105,21 @@ class Activation(Module):
         "identity": lambda t: t,
     }
 
+    #: Raw-array twins of the Tensor activations (bit-identical expressions);
+    #: the inference fast paths (``MLP.predict``, ``repro.nn.fused``) use
+    #: these so prediction never builds an autodiff graph.
+    _NUMPY_FUNCTIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+        "tanh": np.tanh,
+        "relu": lambda x: np.maximum(x, 0.0),
+        "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+        "identity": lambda x: x,
+    }
+
+    @classmethod
+    def apply_numpy(cls, name: str, x: np.ndarray) -> np.ndarray:
+        """Apply an activation to a raw array (no graph bookkeeping)."""
+        return cls._NUMPY_FUNCTIONS[name](x)
+
     def __init__(self, name: str) -> None:
         if name not in self._FUNCTIONS:
             raise ValueError(f"unknown activation: {name!r}")
@@ -173,8 +188,24 @@ class MLP(Module):
         return self.body(x)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Forward pass on raw arrays without building gradients."""
-        return self.forward(Tensor(np.atleast_2d(x))).data
+        """Forward pass on raw arrays without building gradients.
+
+        Plain Linear/Activation stacks (everything this class constructs)
+        run directly on NumPy arrays — no Tensor allocation, no backward
+        closures, no graph bookkeeping — which matters in the search loop
+        where the surrogate scores candidate pools every iteration.  Exotic
+        layer types fall back to the Tensor forward pass.
+        """
+        data = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        layers = self.body.layers
+        if all(isinstance(layer, (Linear, Activation)) for layer in layers):
+            for layer in layers:
+                if isinstance(layer, Linear):
+                    data = data @ layer.weight.data + layer.bias.data
+                else:
+                    data = Activation.apply_numpy(layer.name, data)
+            return data
+        return self.forward(Tensor(data)).data
 
     def copy_weights_from(self, other: "MLP") -> None:
         """Copy parameters from another MLP with identical architecture."""

@@ -9,14 +9,20 @@ the full multi-epoch fit used when the trust-region region is (re)entered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.autodiff import Tensor
+from repro.nn.fused import FusedAdam, FusedMLP
 from repro.nn.losses import mse_loss
 from repro.nn.modules import MLP
 from repro.nn.optim import Adam, Optimizer
+
+#: Training backends: ``"fused"`` is the hand-derived NumPy fast path,
+#: ``"autodiff"`` the Tensor-graph reference oracle.  ``"auto"`` picks by
+#: model type.  The two are bit-identical per step (see tests/test_fused.py).
+BACKENDS = ("auto", "fused", "autodiff")
 
 
 @dataclass
@@ -52,41 +58,88 @@ def iterate_minibatches(
         yield inputs[index], targets[index]
 
 
+def _resolve_backend(model: Union[MLP, FusedMLP], backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}")
+    if backend == "auto":
+        return "fused" if isinstance(model, FusedMLP) else "autodiff"
+    if backend == "autodiff" and isinstance(model, FusedMLP):
+        raise ValueError("backend='autodiff' requires an autodiff MLP, got FusedMLP")
+    return backend
+
+
 def train_regressor(
-    model: MLP,
+    model: Union[MLP, FusedMLP],
     inputs: np.ndarray,
     targets: np.ndarray,
     epochs: int = 100,
     batch_size: int = 32,
     lr: float = 1e-3,
-    optimizer: Optional[Optimizer] = None,
+    optimizer: Optional[Union[Optimizer, FusedAdam]] = None,
     rng: Optional[np.random.Generator] = None,
     l2: float = 0.0,
+    backend: str = "auto",
 ) -> TrainingHistory:
     """Fit ``model`` to map ``inputs`` to ``targets`` with MSE.
 
     Parameters
     ----------
     model:
-        The MLP to train in-place.
+        The MLP (autodiff or fused) to train in-place.
     inputs, targets:
         2-D arrays of shape ``(n_samples, n_features)`` / ``(n_samples, n_outputs)``.
     epochs, batch_size, lr:
         Usual training hyper-parameters.
     optimizer:
         Optional pre-built optimizer (so the agent can keep Adam moments
-        across incremental refits).
+        across incremental refits).  Must match the backend: an autodiff
+        :class:`Adam`/:class:`Optimizer` for ``"autodiff"``, a
+        :class:`FusedAdam` for ``"fused"``.
     l2:
         Weight decay strength.
+    backend:
+        ``"auto"`` (default) trains a :class:`FusedMLP` with the fused path
+        and an autodiff :class:`MLP` with the Tensor graph.  ``"fused"`` on
+        an autodiff MLP converts it, trains with the fast path, and writes
+        the weights back — identical results, one-off conversion cost.
+
+    Both backends consume the same minibatch RNG stream and perform
+    bit-identical floating-point updates, so the choice never changes the
+    fitted weights — only how fast they are reached.
     """
     rng = rng or np.random.default_rng()
     inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
     targets = np.atleast_2d(np.asarray(targets, dtype=np.float64))
     if inputs.shape[0] != targets.shape[0]:
         raise ValueError("inputs and targets must have the same number of rows")
+    backend = _resolve_backend(model, backend)
+    history = TrainingHistory()
+
+    if backend == "fused":
+        write_back: Optional[MLP] = None
+        if isinstance(model, FusedMLP):
+            fused = model
+        else:
+            if optimizer is not None:
+                raise ValueError(
+                    "backend='fused' on an autodiff MLP cannot reuse a pre-built "
+                    "optimizer; hold a FusedMLP + FusedAdam for persistent moments"
+                )
+            fused = FusedMLP.from_module(model)
+            write_back = model
+        if optimizer is None:
+            optimizer = FusedAdam(fused, lr=lr, weight_decay=l2)
+        elif not isinstance(optimizer, FusedAdam):
+            raise ValueError("backend='fused' requires a FusedAdam optimizer")
+        history.losses.extend(fused.fit(inputs, targets, epochs, batch_size, optimizer, rng))
+        if write_back is not None:
+            fused.to_module(write_back)
+        return history
+
     if optimizer is None:
         optimizer = Adam(model.parameters(), lr=lr, weight_decay=l2)
-    history = TrainingHistory()
+    elif isinstance(optimizer, FusedAdam):
+        raise ValueError("backend='autodiff' requires an autodiff optimizer, got FusedAdam")
     for _ in range(epochs):
         epoch_losses = []
         for batch_x, batch_y in iterate_minibatches(inputs, targets, batch_size, rng):

@@ -2,12 +2,14 @@
 
 from repro.search.progressive import (
     CornerReport,
+    ProgressiveConfig,
     ProgressiveResult,
     progressive_pvt_search,
 )
 from repro.search.sizing import size_problem
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import (
+    SEARCH_BACKENDS,
     IterationRecord,
     SearchResult,
     TrustRegionConfig,
@@ -17,7 +19,9 @@ from repro.search.trust_region import (
 __all__ = [
     "CornerReport",
     "IterationRecord",
+    "ProgressiveConfig",
     "ProgressiveResult",
+    "SEARCH_BACKENDS",
     "SearchResult",
     "Spec",
     "Specification",

@@ -11,7 +11,7 @@ every corner passes or the phase budget runs out.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,6 +28,44 @@ from repro.search.trust_region import (
 #: Builds a per-corner batch evaluator (e.g. a derated TwoStageOpAmp's
 #: ``evaluate_batch``) together with its metric names.
 EvaluatorFactory = Callable[[PVTCondition], BatchEvaluator]
+
+
+@dataclass
+class ProgressiveConfig:
+    """Configuration of the progressive multi-corner loop.
+
+    Bundles the per-phase trust-region hyper-parameters with the knobs that
+    belong to the corner-hardening loop itself.  ``backend`` overrides the
+    trust-region config's training backend when set, so callers can flip
+    every phase between the fused fast path and the autodiff oracle with a
+    single field.
+    """
+
+    trust_region: TrustRegionConfig = field(default_factory=TrustRegionConfig)
+    max_phases: int = 4
+    backend: Optional[str] = None
+
+    def phase_trust_region(self) -> TrustRegionConfig:
+        """The trust-region config with the backend override applied."""
+        if self.backend is not None and self.backend != self.trust_region.backend:
+            return replace(self.trust_region, backend=self.backend)
+        return self.trust_region
+
+
+def _as_progressive_config(
+    config: Union[TrustRegionConfig, ProgressiveConfig, None],
+    max_phases: Optional[int],
+) -> ProgressiveConfig:
+    """Normalise the legacy (TrustRegionConfig, max_phases) calling style."""
+    if config is None:
+        progressive = ProgressiveConfig()
+    elif isinstance(config, ProgressiveConfig):
+        progressive = config
+    else:
+        progressive = ProgressiveConfig(trust_region=config)
+    if max_phases is not None:
+        progressive = replace(progressive, max_phases=max_phases)
+    return progressive
 
 
 @dataclass
@@ -98,8 +136,8 @@ def progressive_pvt_search(
     specs: Sequence[Spec],
     metric_names: Sequence[str],
     corners: Optional[Sequence[PVTCondition]] = None,
-    config: Optional[TrustRegionConfig] = None,
-    max_phases: int = 4,
+    config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
+    max_phases: Optional[int] = None,
 ) -> ProgressiveResult:
     """Size at the hardest corner first, then harden across the grid.
 
@@ -113,14 +151,18 @@ def progressive_pvt_search(
     corners:
         Sign-off grid; defaults to :func:`nine_corner_grid`.
     config:
-        Trust-region hyper-parameters shared by every phase.
+        Either a :class:`ProgressiveConfig`, or (legacy style) the
+        :class:`TrustRegionConfig` shared by every phase.
     max_phases:
-        Upper bound on re-search rounds (each adds the worst failing corner).
+        Upper bound on re-search rounds (each adds the worst failing
+        corner); overrides the :class:`ProgressiveConfig` value when given.
     """
-    if max_phases < 1:
+    progressive = _as_progressive_config(config, max_phases)
+    if progressive.max_phases < 1:
         raise ValueError("max_phases must be at least 1")
+    max_phases = progressive.max_phases
+    config = progressive.phase_trust_region()
     corners = list(corners) if corners is not None else nine_corner_grid()
-    config = config or TrustRegionConfig()
     ranked = rank_by_severity(corners)
     evaluators = {corner.name: evaluator_factory(corner) for corner in corners}
 

@@ -28,20 +28,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def resolve_config(
-    config: Optional[TrustRegionConfig], seed: Optional[int]
+    config: Optional[TrustRegionConfig],
+    seed: Optional[int],
+    backend: Optional[str] = None,
 ) -> TrustRegionConfig:
-    """Combine the ``config``/``seed`` knobs without letting them disagree.
+    """Combine the ``config``/``seed``/``backend`` knobs without conflicts.
 
     ``seed`` used to be silently ignored whenever an explicit ``config`` was
     passed; now an explicit ``seed`` always wins (via
     :func:`dataclasses.replace`), and ``seed=None`` means "use the config's
-    seed".
+    seed".  ``backend`` follows the same rule: an explicit value overrides
+    the config's training backend, ``None`` defers to it.
     """
     if config is None:
-        return TrustRegionConfig(seed=0 if seed is None else seed)
+        config = TrustRegionConfig(seed=0 if seed is None else seed)
+        if backend is not None:
+            config = replace(config, backend=backend)
+        return config
+    overrides = {}
     if seed is not None and seed != config.seed:
-        return replace(config, seed=seed)
-    return config
+        overrides["seed"] = seed
+    if backend is not None and backend != config.backend:
+        overrides["backend"] = backend
+    return replace(config, **overrides) if overrides else config
 
 
 def size_problem(
@@ -54,6 +63,7 @@ def size_problem(
     config: Optional[TrustRegionConfig] = None,
     seed: Optional[int] = None,
     max_phases: int = 4,
+    backend: Optional[str] = None,
 ) -> ProgressiveResult:
     """Run the progressive trust-region sizing search on one topology.
 
@@ -76,6 +86,9 @@ def size_problem(
         config's seed (see :func:`resolve_config`).
     max_phases:
         Progressive corner-hardening round budget.
+    backend:
+        Surrogate training backend (``"fused"`` or ``"autodiff"``); an
+        explicit value overrides the config's ``backend`` field.
     """
     # Imported lazily: the topology modules import repro.search.spec, so a
     # module-level import here would be circular.
@@ -102,6 +115,6 @@ def size_problem(
         specs=specs,
         metric_names=nominal_problem.METRIC_NAMES,
         corners=corners,
-        config=resolve_config(config, seed),
+        config=resolve_config(config, seed, backend),
         max_phases=max_phases,
     )

@@ -82,6 +82,7 @@ class TestRunner:
     def test_case_record_structure(self, tiny_result):
         assert tiny_result["name"].startswith("ota_5t/smoke/nominal")
         assert tiny_result["design_dims"] == 5
+        assert tiny_result["backend"] == "fused"  # the library default
         assert 0.0 <= tiny_result["success_rate"] <= 1.0
         assert len(tiny_result["per_seed"]) == 2
         for record in tiny_result["per_seed"]:
@@ -117,15 +118,32 @@ class TestRunner:
 
     def test_suite_payload_and_artifact(self, tmp_path):
         payload = run_suite("tiny", seeds=[0])
-        assert payload["schema"] == SCHEMA
+        assert payload["schema"] == SCHEMA == "repro.bench/v2"
         assert payload["suite"] == "tiny"
         assert payload["seeds"] == [0]
+        assert payload["backend"] == "fused"
         assert payload["totals"]["cases"] == len(payload["cases"])
         path = tmp_path / "BENCH_tiny.json"
         write_bench_json(payload, str(path))
         assert json.loads(path.read_text()) == payload
         summary = format_summary(payload)
         assert "ota_5t/smoke/nominal" in summary
+        assert "fused" in summary
+
+    def test_backend_override_recorded(self):
+        (case,) = get_suite("tiny")
+        result = run_case(case, seeds=[0], backend="autodiff")
+        assert result["backend"] == "autodiff"
+        payload = run_suite("tiny", seeds=[0], backend="autodiff")
+        assert payload["backend"] == "autodiff"
+
+    def test_backends_produce_identical_trajectories(self):
+        """Bit-identical training steps -> bit-identical bench results."""
+        (case,) = get_suite("tiny")
+        fused = run_case(case, seeds=[0], backend="fused")["per_seed"][0]
+        autodiff = run_case(case, seeds=[0], backend="autodiff")["per_seed"][0]
+        assert fused["evaluations"] == autodiff["evaluations"]
+        assert fused["best_sizing"] == autodiff["best_sizing"]
 
 
 class TestCLI:
@@ -166,6 +184,41 @@ class TestCLI:
     def test_cli_rejects_unknown_suite(self):
         with pytest.raises(SystemExit):
             bench_main(["--suite", "definitely_not_a_suite"])
+
+    def test_cli_backend_flag(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = bench_main(
+            ["--suite", "tiny", "--seeds", "1", "--backend", "autodiff",
+             "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == "autodiff"
+        assert all(case["backend"] == "autodiff" for case in payload["cases"])
+
+    def test_cli_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            bench_main(["--suite", "tiny", "--backend", "jax"])
+
+
+class TestCrossCheck:
+    def test_cross_check_passes_on_builtin_case(self, capsys):
+        from repro.bench import cross_check
+
+        assert cross_check("tiny") == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out
+
+    def test_cli_cross_check_flag(self, capsys):
+        assert bench_main(["--cross-check", "--suite", "tiny"]) == 0
+        assert "parity OK" in capsys.readouterr().out
+
+    def test_cli_cross_check_rejects_ignored_flags(self):
+        """Flags the guard would silently drop must be an error instead."""
+        for extra in (["--seeds", "5"], ["--output", "x.json"],
+                      ["--backend", "autodiff"], ["--fail-under", "1.0"]):
+            with pytest.raises(SystemExit):
+                bench_main(["--cross-check", "--suite", "tiny"] + extra)
 
 
 class TestDemoParity:

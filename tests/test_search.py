@@ -106,6 +106,20 @@ class TestTrustRegionSearch:
         clamped = TrustRegionSearch(evaluator, space, spec, tight).run()
         assert clamped.evaluations <= 10
 
+    def test_budget_respected_when_batch_does_not_divide(self):
+        """The last iteration must shrink its batch to the remaining budget."""
+        space = DesignSpace(
+            [Parameter("x", 0.0, 1.0, grid_points=101), Parameter("y", 0.0, 1.0, grid_points=101)]
+        )
+        spec = Specification([Spec("a", ">=", 10.0)], ["a", "b"])  # unsatisfiable
+        config = TrustRegionConfig(
+            seed=0, initial_samples=48, batch_size=8, max_evaluations=100,
+            candidate_pool=64, surrogate_hidden=(8,), initial_epochs=10, refit_epochs=5,
+        )
+        result = TrustRegionSearch(quadratic_evaluator, space, spec, config).run()
+        assert not result.solved
+        assert result.evaluations == 100  # 48 + 6*8 + final clamped batch of 4
+
     def test_never_reevaluates_a_point(self):
         calls = []
 
@@ -186,3 +200,106 @@ class TestResolveConfig:
         assert resolve_config(config, seed=None) is config
         assert resolve_config(None, seed=None).seed == 0
         assert resolve_config(None, seed=5).seed == 5
+
+    def test_backend_override(self):
+        from repro.search.sizing import resolve_config
+
+        config = TrustRegionConfig(seed=3)
+        resolved = resolve_config(config, seed=None, backend="autodiff")
+        assert resolved.backend == "autodiff"
+        assert resolved.seed == 3
+        assert config.backend == "fused"  # original untouched
+        assert resolve_config(config, seed=None, backend="fused") is config
+        assert resolve_config(None, seed=None, backend="autodiff").backend == "autodiff"
+
+
+class TestDatasetHotPath:
+    """The incremental dataset: vectorized dedup, order, incremental best."""
+
+    def make_search(self, **config_kwargs):
+        space = DesignSpace(
+            [Parameter("x", 0.0, 1.0, grid_points=11), Parameter("y", 0.0, 1.0, grid_points=11)]
+        )
+        spec = Specification([Spec("a", ">=", 2.0)], ["a", "b"])
+        return TrustRegionSearch(
+            quadratic_evaluator, space, spec, TrustRegionConfig(**config_kwargs)
+        )
+
+    def test_dedup_keeps_first_occurrence_in_candidate_order(self):
+        search = self.make_search()
+        block = np.array([
+            [0.1, 0.1],
+            [0.2, 0.2],
+            [0.1, 0.1],  # duplicate of row 0
+            [0.3, 0.3],
+        ])
+        added = search._evaluate_new(block)
+        assert added == 3
+        np.testing.assert_allclose(search._X[:3], [[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]])
+
+    def test_dedup_limit_counts_only_fresh_rows(self):
+        search = self.make_search()
+        search._evaluate_new(np.array([[0.1, 0.1]]))
+        block = np.array([
+            [0.1, 0.1],  # already seen -> skipped, not counted
+            [0.2, 0.2],
+            [0.2, 0.2],  # in-block duplicate
+            [0.3, 0.3],
+            [0.4, 0.4],
+        ])
+        added = search._evaluate_new(block, limit=2)
+        assert added == 2
+        np.testing.assert_allclose(search._X[1:3], [[0.2, 0.2], [0.3, 0.3]])
+        assert search.evaluations == 3
+
+    def test_incremental_best_matches_full_argmax(self):
+        search = self.make_search()
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            search._evaluate_new(search.design_space.sample(rng, 7))
+        scores = search._scores[: search._count]
+        assert search._best == int(np.argmax(scores))
+
+    def test_growable_arrays_preserve_data(self):
+        search = self.make_search()
+        rng = np.random.default_rng(1)
+        seen_rows = []
+        for _ in range(30):  # force several capacity doublings
+            block = search.design_space.sample(rng, 9)
+            before = search._count
+            search._evaluate_new(block)
+            seen_rows.append(search._X[before: search._count].copy())
+        stacked = np.vstack(seen_rows)
+        np.testing.assert_array_equal(search._X[: search._count], stacked)
+        # Metrics stayed aligned with their input rows across reallocation.
+        np.testing.assert_allclose(
+            search._M[: search._count], quadratic_evaluator(stacked)
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            TrustRegionConfig(backend="magic")
+
+
+class TestProgressiveConfig:
+    def test_phase_trust_region_backend_override(self):
+        from repro.search import ProgressiveConfig
+
+        trust = TrustRegionConfig(seed=4)
+        progressive = ProgressiveConfig(trust_region=trust, backend="autodiff")
+        assert progressive.phase_trust_region().backend == "autodiff"
+        assert trust.backend == "fused"  # original untouched
+        assert ProgressiveConfig(trust_region=trust).phase_trust_region() is trust
+
+    def test_legacy_trust_region_config_still_accepted(self):
+        from repro.search.progressive import _as_progressive_config
+
+        trust = TrustRegionConfig(seed=2)
+        progressive = _as_progressive_config(trust, max_phases=3)
+        assert progressive.trust_region is trust
+        assert progressive.max_phases == 3
+        # max_phases=None defers to the ProgressiveConfig value.
+        from repro.search import ProgressiveConfig
+
+        kept = _as_progressive_config(ProgressiveConfig(max_phases=2), max_phases=None)
+        assert kept.max_phases == 2
