@@ -3,8 +3,11 @@
 ``python -m repro.bench --suite smoke --seeds 3`` runs the progressive
 trust-region search on every registered (topology, spec tier, corner set)
 case and writes a ``BENCH_<suite>.json`` artifact with per-problem success
-rate, median evaluations-to-feasible, surrogate-refit time and wall time —
-the numbers every scaling/speed PR is measured against.
+rate, median evaluations-to-feasible, surrogate-refit time, true-evaluator
+time and wall time — the numbers every scaling/speed PR is measured
+against.  ``--backend`` selects the surrogate training path and
+``--corner-engine`` the multi-corner evaluation engine; both knobs are
+bit-identical across their settings, so they trade speed only.
 """
 
 from repro.bench.registry import (

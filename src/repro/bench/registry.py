@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Tuple
 from repro.circuits.pvt import (
     NOMINAL,
     PVTCondition,
+    full_corner_grid,
     hardest_condition,
     nine_corner_grid,
 )
@@ -31,6 +32,7 @@ CORNER_SETS: Dict[str, Callable[[], List[PVTCondition]]] = {
     "nominal": lambda: [NOMINAL],
     "hardest": lambda: [hardest_condition(nine_corner_grid())],
     "nine": nine_corner_grid,
+    "full45": full_corner_grid,
 }
 
 
@@ -120,6 +122,14 @@ _SUITES: Dict[str, List[BenchCase]] = {
     # Single fast case for unit tests and bisection.
     "tiny": [
         BenchCase("ota_5t", "smoke", "nominal", max_evaluations=200, max_phases=1),
+    ],
+    # Corner-axis scaling: the same workload signed off on the 9-corner grid
+    # and on the full 45-corner grid, so BENCH artifacts track how the
+    # stacked corner engine scales with the corner count (run with
+    # ``--corner-engine looped`` for the oracle baseline).
+    "corners": [
+        BenchCase("two_stage_opamp", "smoke", "nine"),
+        BenchCase("two_stage_opamp", "smoke", "full45"),
     ],
 }
 

@@ -11,29 +11,36 @@ numbers the ROADMAP tracks per PR:
 * **surrogate-refit seconds** — wall time inside the incremental MLP refits;
 * **wall seconds** — end-to-end search time.
 
-The JSON artifact schema is ``repro.bench/v2`` (see README "Benchmarking").
-Relative to v1 it adds the surrogate-training ``backend`` both at the top
-level and per case, so regressions can always be attributed to the right
-training path:
+The JSON artifact schema is ``repro.bench/v3`` (see README "Benchmarking").
+Relative to v2 it adds the ``corner_engine`` (stacked corner tensorization
+vs the looped oracle) at the top level and per case, ``eval_seconds`` — wall
+time inside the true corner evaluator — next to ``refit_seconds``, and the
+``failing_corners`` names per seed so an unsolved run says *which* corners
+sank it:
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v2",
+      "schema": "repro.bench/v3",
       "suite": "smoke",
       "seeds": [0, 1, 2],
       "backend": "fused",
+      "corner_engine": "stacked",
       "cases": [
         {
           "name": "two_stage_opamp/nominal/nine",
           "topology": "two_stage_opamp", "tier": "nominal",
           "corner_set": "nine", "design_dims": 8, "backend": "fused",
+          "corner_engine": "stacked",
           "success_rate": 1.0,
           "median_evaluations_to_feasible": 113,
-          "mean_refit_seconds": 0.04, "mean_wall_seconds": 0.06,
+          "mean_refit_seconds": 0.04, "mean_eval_seconds": 0.004,
+          "mean_wall_seconds": 0.06,
           "per_seed": [{"seed": 0, "solved": true, "evaluations": 169,
-                        "refit_seconds": 0.05, "wall_seconds": 0.07,
-                        "phases": 2, "best_sizing": {"w1": 4.6e-05}}]
+                        "refit_seconds": 0.05, "eval_seconds": 0.004,
+                        "wall_seconds": 0.07, "phases": 2,
+                        "failing_corners": [],
+                        "best_sizing": {"w1": 4.6e-05}}]
         }
       ],
       "totals": {"cases": 4, "solved_fraction": 1.0, "wall_seconds": 0.9}
@@ -50,23 +57,34 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bench.registry import BenchCase, get_suite
 from repro.circuits.topologies import get_topology
+from repro.search.progressive import ProgressiveConfig
 from repro.search.sizing import size_problem
 
-SCHEMA = "repro.bench/v2"
+SCHEMA = "repro.bench/v3"
 
 
 def run_case(
-    case: BenchCase, seeds: Sequence[int], backend: Optional[str] = None
+    case: BenchCase,
+    seeds: Sequence[int],
+    backend: Optional[str] = None,
+    corner_engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one benchmark case across seeds and aggregate the statistics.
 
     ``backend`` overrides the surrogate-training backend of every seed's
-    config (``None`` keeps the case default, i.e. the library default).
+    config (``None`` keeps the case default, i.e. the library default);
+    ``corner_engine`` likewise selects stacked corner evaluation vs the
+    looped oracle.
     """
     problem_cls = get_topology(case.topology)
     design_dims = len(problem_cls.VARIABLE_NAMES)
     per_seed: List[Dict[str, Any]] = []
     effective_backend = backend if backend is not None else case.config(0).backend
+    # Derived, not duplicated: with no override, size_problem defers to the
+    # ProgressiveConfig default, so report exactly that.
+    effective_engine = (
+        corner_engine if corner_engine is not None else ProgressiveConfig().corner_engine
+    )
     for seed in seeds:
         config = case.config(seed)
         if backend is not None:
@@ -80,6 +98,7 @@ def run_case(
             corners=case.corners(),
             config=config,
             max_phases=case.max_phases,
+            corner_engine=corner_engine,
         )
         wall = time.perf_counter() - started
         per_seed.append(
@@ -88,13 +107,23 @@ def run_case(
                 "solved": bool(result.solved_all_corners),
                 "evaluations": int(result.evaluations),
                 "refit_seconds": round(result.refit_seconds, 6),
+                "eval_seconds": round(result.eval_seconds, 6),
                 "wall_seconds": round(wall, 6),
                 "phases": len(result.phase_results),
+                "failing_corners": [
+                    corner.name for corner in result.failing_corners()
+                ],
                 "best_sizing": {k: float(v) for k, v in result.best_sizing.items()},
             }
         )
 
     solved = [record for record in per_seed if record["solved"]]
+
+    def mean_of(key: str) -> float:
+        if not per_seed:
+            return 0.0
+        return round(sum(record[key] for record in per_seed) / len(per_seed), 6)
+
     return {
         "name": case.name,
         "topology": case.topology,
@@ -103,20 +132,14 @@ def run_case(
         "technology": case.technology,
         "design_dims": design_dims,
         "backend": effective_backend,
+        "corner_engine": effective_engine,
         "success_rate": len(solved) / len(per_seed) if per_seed else 0.0,
         "median_evaluations_to_feasible": (
             int(median(record["evaluations"] for record in solved)) if solved else None
         ),
-        "mean_refit_seconds": (
-            round(sum(r["refit_seconds"] for r in per_seed) / len(per_seed), 6)
-            if per_seed
-            else 0.0
-        ),
-        "mean_wall_seconds": (
-            round(sum(r["wall_seconds"] for r in per_seed) / len(per_seed), 6)
-            if per_seed
-            else 0.0
-        ),
+        "mean_refit_seconds": mean_of("refit_seconds"),
+        "mean_eval_seconds": mean_of("eval_seconds"),
+        "mean_wall_seconds": mean_of("wall_seconds"),
         "per_seed": per_seed,
     }
 
@@ -125,19 +148,27 @@ def run_suite(
     suite: str = "smoke",
     seeds: Sequence[int] = (0, 1, 2),
     backend: Optional[str] = None,
+    corner_engine: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v2`` payload."""
+    """Run every case of a suite; returns the ``repro.bench/v3`` payload."""
     cases = get_suite(suite)
     started = time.perf_counter()
-    case_results = [run_case(case, seeds, backend=backend) for case in cases]
+    case_results = [
+        run_case(case, seeds, backend=backend, corner_engine=corner_engine)
+        for case in cases
+    ]
     wall = time.perf_counter() - started
     runs = [record for result in case_results for record in result["per_seed"]]
     case_backends = {result["backend"] for result in case_results}
+    case_engines = {result["corner_engine"] for result in case_results}
     return {
         "schema": SCHEMA,
         "suite": suite,
         "seeds": [int(seed) for seed in seeds],
         "backend": next(iter(case_backends)) if len(case_backends) == 1 else "mixed",
+        "corner_engine": (
+            next(iter(case_engines)) if len(case_engines) == 1 else "mixed"
+        ),
         "cases": case_results,
         "totals": {
             "cases": len(case_results),
@@ -217,9 +248,10 @@ def format_summary(payload: Dict[str, Any]) -> str:
     lines = [
         f"suite {payload['suite']!r} | seeds {payload['seeds']} "
         f"| backend {payload['backend']} "
+        f"| corners {payload['corner_engine']} "
         f"| {payload['totals']['wall_seconds']:.1f} s total",
         f"{'case':42s} {'dims':>4s} {'succ':>6s} {'evals':>6s} "
-        f"{'refit_s':>8s} {'wall_s':>7s}",
+        f"{'refit_s':>8s} {'eval_s':>8s} {'wall_s':>7s}",
     ]
     for case in payload["cases"]:
         evals = case["median_evaluations_to_feasible"]
@@ -227,7 +259,8 @@ def format_summary(payload: Dict[str, Any]) -> str:
             f"{case['name']:42s} {case['design_dims']:>4d} "
             f"{case['success_rate']:>6.2f} "
             f"{(str(evals) if evals is not None else '-'):>6s} "
-            f"{case['mean_refit_seconds']:>8.3f} {case['mean_wall_seconds']:>7.2f}"
+            f"{case['mean_refit_seconds']:>8.3f} "
+            f"{case['mean_eval_seconds']:>8.3f} {case['mean_wall_seconds']:>7.2f}"
         )
     totals = payload["totals"]
     lines.append(
@@ -282,6 +315,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "default, fused; autodiff is the reference oracle)",
     )
     parser.add_argument(
+        "--corner-engine",
+        default=None,
+        choices=("stacked", "looped"),
+        help="multi-corner evaluation engine override (default: the library "
+        "default, stacked; looped is the per-corner parity oracle)",
+    )
+    parser.add_argument(
         "--cross-check",
         action="store_true",
         help="instead of running the suite, run its first case once per "
@@ -299,6 +339,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--seeds", args.seeds),
                 ("--output", args.output),
                 ("--backend", args.backend),
+                ("--corner-engine", args.corner_engine),
             )
             if value is not None
         ]
@@ -314,7 +355,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not 0.0 <= args.fail_under <= 1.0:
         parser.error("--fail-under must be within [0, 1]")
 
-    payload = run_suite(args.suite, seeds=range(seeds), backend=args.backend)
+    payload = run_suite(
+        args.suite,
+        seeds=range(seeds),
+        backend=args.backend,
+        corner_engine=args.corner_engine,
+    )
     output = args.output or f"BENCH_{args.suite}.json"
     write_bench_json(payload, output)
     print(format_summary(payload))

@@ -2,7 +2,12 @@
 
 from repro.circuits.devices import MOSFET, OperatingPoint
 from repro.circuits.opamp import METRIC_NAMES, VARIABLE_NAMES, TwoStageOpAmp
-from repro.circuits.process import TechnologyCard, available_nodes, get_technology
+from repro.circuits.process import (
+    TechnologyCard,
+    available_nodes,
+    get_technology,
+    stack_cards,
+)
 from repro.circuits.pvt import (
     NOMINAL,
     PVTCondition,
@@ -47,4 +52,5 @@ __all__ = [
     "nine_corner_grid",
     "rank_by_severity",
     "register_topology",
+    "stack_cards",
 ]

@@ -17,8 +17,10 @@ nodes so that network weights do not transfer — cf. Table II).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Sequence
+
+import numpy as np
 
 # Boltzmann constant times unit charge ratio appears via thermal voltage.
 BOLTZMANN = 1.380649e-23
@@ -77,6 +79,39 @@ class TechnologyCard:
     def with_overrides(self, **kwargs) -> "TechnologyCard":
         """Return a copy with selected fields replaced (corner modelling)."""
         return replace(self, **kwargs)
+
+
+def stack_cards(cards: Sequence[TechnologyCard]) -> TechnologyCard:
+    """Fuse per-corner cards into one struct-of-arrays card.
+
+    Every numeric field whose value differs between the cards becomes a
+    ``(n_cards, 1)`` float64 column (ready to broadcast against a
+    ``(count,)`` batch axis); fields shared by all cards stay scalar.  The
+    columns are built from the *already derated* per-card values, so row
+    ``i`` of the stacked card is bit-identical to ``cards[i]`` — the stacked
+    evaluation path inherits exact parity with the per-corner loop by
+    construction.
+
+    The dataclass machinery (``with_overrides``, ``thermal_voltage``) keeps
+    working on the stacked card because its methods are plain arithmetic,
+    which NumPy broadcasts elementwise.
+    """
+    cards = list(cards)
+    if not cards:
+        raise ValueError("stack_cards needs at least one technology card")
+    names = {card.name for card in cards}
+    if len(names) > 1:
+        raise ValueError(
+            f"cannot stack cards from different nodes: {', '.join(sorted(names))}"
+        )
+    overrides = {}
+    for field_ in fields(TechnologyCard):
+        if field_.name == "name":
+            continue
+        values = [getattr(card, field_.name) for card in cards]
+        if any(value != values[0] for value in values[1:]):
+            overrides[field_.name] = np.array(values, dtype=np.float64)[:, np.newaxis]
+    return cards[0].with_overrides(**overrides)
 
 
 _CARDS: Dict[str, TechnologyCard] = {

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.circuits.process import ROOM_TEMPERATURE_K, TechnologyCard
+from repro.circuits.process import ROOM_TEMPERATURE_K, TechnologyCard, stack_cards
 
 #: Multiplicative/additive derating factors per process corner:
 #: (nmos mobility factor, pmos mobility factor, nmos Vth shift, pmos Vth shift)
@@ -80,6 +80,22 @@ class PVTCondition:
             vth_n=max(card.vth_n + dvth_n + vth_temp, 0.05),
             vth_p=max(card.vth_p + dvth_p + vth_temp, 0.05),
         )
+
+    @staticmethod
+    def apply_stack(
+        corners: Sequence["PVTCondition"], card: TechnologyCard
+    ) -> TechnologyCard:
+        """Derate ``card`` to every corner at once: a struct-of-arrays card.
+
+        The corner-dependent fields (``vdd_nominal``, ``kp_n``, ``kp_p``,
+        ``vth_n``, ``vth_p``) come back as ``(n_corners, 1)`` columns that
+        broadcast against a ``(count,)`` batch axis, turning the PVT corner
+        into a leading tensor axis of any vectorized evaluator.  Each row is
+        produced by the scalar :meth:`apply` path and merely *stacked*, so
+        row ``i`` is bit-identical to ``corners[i].apply(card)`` — the basis
+        of the corner-engine parity guarantee.
+        """
+        return stack_cards([corner.apply(card) for corner in corners])
 
     def severity(self) -> float:
         """Heuristic difficulty score (larger = harder corner).

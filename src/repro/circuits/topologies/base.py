@@ -19,6 +19,14 @@ Every problem is PVT-aware by construction: the constructor derates the
 technology card through :meth:`~repro.circuits.pvt.PVTCondition.apply`, the
 same path the progressive corner-hardening loop uses.
 
+The PVT corner is also a *tensor axis*: :meth:`SizingProblem.evaluate_corners`
+returns a ``(n_corners, count, n_metrics)`` block for a whole corner grid in
+one call.  Topologies that set ``supports_stacked_corners`` evaluate the grid
+as a single NumPy broadcast over a stacked technology card
+(:meth:`~repro.circuits.pvt.PVTCondition.apply_stack`); everything else falls
+back to :meth:`SizingProblem.evaluate_corners_looped`, the per-corner Python
+loop that doubles as the parity oracle — the two paths are bit-identical.
+
 Concrete topologies register themselves with :func:`register_topology`, and
 the benchmark suite enumerates them through :func:`available_topologies`.
 """
@@ -77,6 +85,11 @@ class SizingProblem(ABC):
     VARIABLE_NAMES: Tuple[str, ...] = ()
     #: Order of the measurements returned by the batch evaluator.
     METRIC_NAMES: Tuple[str, ...] = ()
+    #: Whether :meth:`evaluate_corners` may use the stacked-card fast path.
+    #: Topologies opt in by accepting ``card``/``temperature_c`` overrides in
+    #: their ``_small_signal_parts`` and providing ``_metrics_from_parts``;
+    #: anything else transparently falls back to the per-corner loop.
+    supports_stacked_corners: bool = False
 
     def __init__(
         self,
@@ -85,6 +98,8 @@ class SizingProblem(ABC):
         load_cap: float = 2e-12,
     ) -> None:
         card = get_technology(technology) if isinstance(technology, str) else technology
+        #: The un-derated node card; corner evaluation derates it per corner.
+        self.base_card = card
         self.condition = condition
         self.card = condition.apply(card)
         self.load_cap = float(load_cap)
@@ -145,6 +160,88 @@ class SizingProblem(ABC):
         """Metrics of a single sizing, via the same vectorized path."""
         row = self.evaluate_batch(self.to_vector(sizing)[np.newaxis, :])[0]
         return {name: float(value) for name, value in zip(self.METRIC_NAMES, row)}
+
+    # -- corner tensor axis --------------------------------------------
+    def for_condition(self, condition: PVTCondition) -> "SizingProblem":
+        """A sibling problem derated to another corner (same node and load)."""
+        return type(self)(self.base_card, condition, self.load_cap)
+
+    def evaluate_corners(
+        self, samples: np.ndarray, corners: Sequence[PVTCondition]
+    ) -> np.ndarray:
+        """Metrics over the whole corner grid in one pass.
+
+        Returns a ``(n_corners, len(samples), len(METRIC_NAMES))`` block.
+        When the topology supports stacked corners the grid is evaluated as
+        a single broadcast — the corner axis rides the same closed-form
+        NumPy expressions as the batch axis — and is bit-identical to
+        :meth:`evaluate_corners_looped` (enforced by the parity tests).
+        """
+        samples = self.validated_batch(samples)
+        corners = list(corners)
+        if not corners:
+            raise ValueError("evaluate_corners needs at least one PVT corner")
+        if not self.supports_stacked_corners:
+            return self.evaluate_corners_looped(samples, corners)
+        card = PVTCondition.apply_stack(corners, self.base_card)
+        temperatures = np.array(
+            [corner.temperature_c for corner in corners], dtype=np.float64
+        )[:, np.newaxis]
+        parts = self._small_signal_parts(samples, card=card, temperature_c=temperatures)
+        metrics = self._metrics_from_parts(parts)
+        # Corner-degenerate grids (e.g. a single corner) can collapse the
+        # leading axis; restore the contract shape without touching values.
+        shape = (len(corners), samples.shape[0], len(self.METRIC_NAMES))
+        if metrics.shape != shape:
+            metrics = np.ascontiguousarray(np.broadcast_to(metrics, shape))
+        return metrics
+
+    def evaluate_corners_looped(
+        self, samples: np.ndarray, corners: Sequence[PVTCondition]
+    ) -> np.ndarray:
+        """Per-corner Python loop over :meth:`evaluate_batch` — the oracle.
+
+        Same ``(n_corners, count, n_metrics)`` contract as
+        :meth:`evaluate_corners`; kept as the reference implementation the
+        stacked path is checked against, and as the fallback for topologies
+        without stacked support.
+        """
+        samples = self.validated_batch(samples)
+        corners = list(corners)
+        if not corners:
+            raise ValueError("evaluate_corners_looped needs at least one PVT corner")
+        return np.stack(
+            [self.for_condition(corner).evaluate_batch(samples) for corner in corners],
+            axis=0,
+        )
+
+    def _small_signal_parts(
+        self, samples: np.ndarray, card=None, temperature_c=None
+    ) -> Dict[str, np.ndarray]:
+        """Small-signal quantities hook of the stacked corner engine.
+
+        Stacked-corner topologies compute their device-level quantities here
+        from an optional card/temperature override (arrays of shape
+        ``(n_corners, 1)`` for the corner axis, or ``None`` for the
+        problem's own derated card).
+        """
+        raise NotImplementedError(
+            f"topology {self.name!r} does not implement the stacked corner engine"
+        )
+
+    def _metrics_from_parts(self, parts: Dict[str, np.ndarray]) -> np.ndarray:
+        """Metric assembly hook: parts -> ``(..., len(METRIC_NAMES))``."""
+        raise NotImplementedError(
+            f"topology {self.name!r} does not implement the stacked corner engine"
+        )
+
+    @staticmethod
+    def _stack_metrics(*columns: np.ndarray) -> np.ndarray:
+        """Broadcast metric columns to a common shape, stacked on a new last
+        axis — ``(count, n)`` for a batch, ``(n_corners, count, n)`` when a
+        corner axis is present.  Corner-invariant columns (e.g. a slew rate
+        set purely by sizing) broadcast up without recomputation."""
+        return np.stack(np.broadcast_arrays(*columns), axis=-1)
 
     def mna_metrics(
         self,

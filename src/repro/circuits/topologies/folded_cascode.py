@@ -48,6 +48,7 @@ class FoldedCascodeOTA(SizingProblem):
     name = "folded_cascode"
     VARIABLE_NAMES: Tuple[str, ...] = ("w1", "wc", "l1", "lc", "ibias", "icasc")
     METRIC_NAMES: Tuple[str, ...] = AMPLIFIER_METRIC_NAMES
+    supports_stacked_corners = True
 
     # ------------------------------------------------------------------
     def design_space(self) -> DesignSpace:
@@ -64,12 +65,21 @@ class FoldedCascodeOTA(SizingProblem):
         )
 
     # ------------------------------------------------------------------
-    def _small_signal_parts(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
-        """Vectorized small-signal quantities for ``(count, dim)`` sizings."""
-        card = self.card
+    def _small_signal_parts(
+        self, samples: np.ndarray, card=None, temperature_c=None
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized small-signal quantities for ``(count, dim)`` sizings.
+
+        ``card``/``temperature_c`` default to this problem's derated corner;
+        the stacked corner engine passes ``(n_corners, 1)`` columns instead,
+        and every quantity broadcasts to ``(n_corners, count)``.
+        """
+        card = self.card if card is None else card
+        if temperature_c is None:
+            temperature_c = self.condition.temperature_c
         w1, wc, l1, lc, ibias, icasc = samples.T
         vds = 0.5 * card.vdd_nominal
-        phi_t = card.thermal_voltage(self.condition.temperature_c)
+        phi_t = card.thermal_voltage(temperature_c)
 
         lam_n1 = card.lambda_n * card.min_length / l1
         lam_nc = card.lambda_n * card.min_length / lc
@@ -110,12 +120,11 @@ class FoldedCascodeOTA(SizingProblem):
             "c_fold": c_fold,
             "ibias": ibias,
             "icasc": icasc,
-            "vdd": np.full_like(gm1, card.vdd_nominal),
+            "vdd": np.asarray(card.vdd_nominal, dtype=np.float64),
         }
 
-    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
-        samples = self.validated_batch(samples)
-        p = self._small_signal_parts(samples)
+    def _metrics_from_parts(self, p: Dict[str, np.ndarray]) -> np.ndarray:
+        """Closed-form metrics from the small-signal parts, any batch shape."""
         gm1, gmc = p["gm1"], p["gmc"]
         rout, cout, c_fold = p["rout"], p["cout"], p["c_fold"]
 
@@ -136,7 +145,11 @@ class FoldedCascodeOTA(SizingProblem):
         # Large-signal: the output can source/sink at most the branch current
         # or the full tail, whichever saturates first.
         slew = np.minimum(p["ibias"], 2.0 * p["icasc"]) / cout
-        return np.stack([dc_gain_db, fu, phase_margin, power, slew], axis=1)
+        return self._stack_metrics(dc_gain_db, fu, phase_margin, power, slew)
+
+    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
+        samples = self.validated_batch(samples)
+        return self._metrics_from_parts(self._small_signal_parts(samples))
 
     # ------------------------------------------------------------------
     def default_specs(self) -> Dict[str, Tuple[Spec, ...]]:

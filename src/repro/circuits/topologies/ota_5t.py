@@ -43,6 +43,7 @@ class FiveTransistorOTA(SizingProblem):
     name = "ota_5t"
     VARIABLE_NAMES: Tuple[str, ...] = ("w1", "w3", "l1", "l3", "ibias")
     METRIC_NAMES: Tuple[str, ...] = AMPLIFIER_METRIC_NAMES
+    supports_stacked_corners = True
 
     # ------------------------------------------------------------------
     def design_space(self) -> DesignSpace:
@@ -58,12 +59,21 @@ class FiveTransistorOTA(SizingProblem):
         )
 
     # ------------------------------------------------------------------
-    def _small_signal_parts(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
-        """Vectorized small-signal quantities for ``(count, dim)`` sizings."""
-        card = self.card
+    def _small_signal_parts(
+        self, samples: np.ndarray, card=None, temperature_c=None
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized small-signal quantities for ``(count, dim)`` sizings.
+
+        ``card``/``temperature_c`` default to this problem's derated corner;
+        the stacked corner engine passes ``(n_corners, 1)`` columns instead,
+        and every quantity broadcasts to ``(n_corners, count)``.
+        """
+        card = self.card if card is None else card
+        if temperature_c is None:
+            temperature_c = self.condition.temperature_c
         w1, w3, l1, l3, ibias = samples.T
         vds = 0.5 * card.vdd_nominal
-        phi_t = card.thermal_voltage(self.condition.temperature_c)
+        phi_t = card.thermal_voltage(temperature_c)
 
         lam_n = card.lambda_n * card.min_length / l1
         lam_p = card.lambda_p * card.min_length / l3
@@ -85,12 +95,11 @@ class FiveTransistorOTA(SizingProblem):
             "cout": cout,
             "cm": cm,
             "ibias": ibias,
-            "vdd": np.full_like(gm1, card.vdd_nominal),
+            "vdd": np.asarray(card.vdd_nominal, dtype=np.float64),
         }
 
-    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
-        samples = self.validated_batch(samples)
-        p = self._small_signal_parts(samples)
+    def _metrics_from_parts(self, p: Dict[str, np.ndarray]) -> np.ndarray:
+        """Closed-form metrics from the small-signal parts, any batch shape."""
         gm1, gm3 = p["gm1"], p["gm3"]
         rout, cout, cm = p["rout"], p["cout"], p["cm"]
 
@@ -110,7 +119,11 @@ class FiveTransistorOTA(SizingProblem):
         dc_gain_db = 20.0 * np.log10(a0)
         power = p["vdd"] * p["ibias"]
         slew = p["ibias"] / cout
-        return np.stack([dc_gain_db, fu, phase_margin, power, slew], axis=1)
+        return self._stack_metrics(dc_gain_db, fu, phase_margin, power, slew)
+
+    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
+        samples = self.validated_batch(samples)
+        return self._metrics_from_parts(self._small_signal_parts(samples))
 
     # ------------------------------------------------------------------
     def default_specs(self) -> Dict[str, Tuple[Spec, ...]]:

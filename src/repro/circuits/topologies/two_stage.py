@@ -60,6 +60,7 @@ class TwoStageOpAmp(SizingProblem):
     name = "two_stage_opamp"
     VARIABLE_NAMES: Tuple[str, ...] = VARIABLE_NAMES
     METRIC_NAMES: Tuple[str, ...] = METRIC_NAMES
+    supports_stacked_corners = True
 
     # ------------------------------------------------------------------
     def design_space(self) -> DesignSpace:
@@ -79,13 +80,22 @@ class TwoStageOpAmp(SizingProblem):
         )
 
     # ------------------------------------------------------------------
-    def _small_signal_parts(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
-        """Vectorized small-signal quantities for ``(count, dim)`` sizings."""
-        card = self.card
+    def _small_signal_parts(
+        self, samples: np.ndarray, card=None, temperature_c=None
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized small-signal quantities for ``(count, dim)`` sizings.
+
+        ``card``/``temperature_c`` default to this problem's derated corner;
+        the stacked corner engine passes ``(n_corners, 1)`` columns instead,
+        and every quantity broadcasts to ``(n_corners, count)``.
+        """
+        card = self.card if card is None else card
+        if temperature_c is None:
+            temperature_c = self.condition.temperature_c
         w1, w3, w6, l12, l6, ibias, i2, cc = samples.T
         vdd = card.vdd_nominal
         vds = 0.5 * vdd  # representative mid-rail bias for every device
-        phi_t = card.thermal_voltage(self.condition.temperature_c)
+        phi_t = card.thermal_voltage(temperature_c)
 
         lam_n12 = card.lambda_n * card.min_length / l12
         lam_p12 = card.lambda_p * card.min_length / l12
@@ -117,17 +127,11 @@ class TwoStageOpAmp(SizingProblem):
             "cc": cc,
             "ibias": ibias,
             "i2": i2,
-            "vdd": np.full_like(gm1, vdd),
+            "vdd": np.asarray(vdd, dtype=np.float64),
         }
 
-    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
-        """Closed-form metrics for a ``(count, dim)`` array of sizings.
-
-        Returns an array of shape ``(count, len(METRIC_NAMES))`` computed in
-        a single vectorized pass — no per-sample Python loop.
-        """
-        samples = self.validated_batch(samples)
-        p = self._small_signal_parts(samples)
+    def _metrics_from_parts(self, p: Dict[str, np.ndarray]) -> np.ndarray:
+        """Closed-form metrics from the small-signal parts, any batch shape."""
         gm1, gm6 = p["gm1"], p["gm6"]
         r1, c1, r2, c2, cc = p["r1"], p["c1"], p["r2"], p["c2"], p["cc"]
 
@@ -149,7 +153,16 @@ class TwoStageOpAmp(SizingProblem):
         dc_gain_db = 20.0 * np.log10(a0)
         power = p["vdd"] * (p["ibias"] + p["i2"])
         slew = np.minimum(p["ibias"] / cc, p["i2"] / c2)
-        return np.stack([dc_gain_db, fu, phase_margin, power, slew], axis=1)
+        return self._stack_metrics(dc_gain_db, fu, phase_margin, power, slew)
+
+    def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Closed-form metrics for a ``(count, dim)`` array of sizings.
+
+        Returns an array of shape ``(count, len(METRIC_NAMES))`` computed in
+        a single vectorized pass — no per-sample Python loop.
+        """
+        samples = self.validated_batch(samples)
+        return self._metrics_from_parts(self._small_signal_parts(samples))
 
     # ------------------------------------------------------------------
     def default_specs(self) -> Dict[str, Tuple[Spec, ...]]:

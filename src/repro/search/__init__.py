@@ -1,6 +1,8 @@
 """Surrogate-assisted trust-region sizing search (Algorithm 1 + Section IV-E)."""
 
+from repro.search.eval_cache import CornerEvaluator, EvaluationCache
 from repro.search.progressive import (
+    CORNER_ENGINES,
     CornerReport,
     ProgressiveConfig,
     ProgressiveResult,
@@ -17,7 +19,10 @@ from repro.search.trust_region import (
 )
 
 __all__ = [
+    "CORNER_ENGINES",
+    "CornerEvaluator",
     "CornerReport",
+    "EvaluationCache",
     "IterationRecord",
     "ProgressiveConfig",
     "ProgressiveResult",

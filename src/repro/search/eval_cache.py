@@ -1,0 +1,132 @@
+"""Cross-phase memoisation of true-evaluator results.
+
+The progressive PVT loop re-touches the same sizings repeatedly: each phase
+warm-starts from the previous phase's winner, every phase verifies its winner
+over the full sign-off grid, and later phases re-verify sizings whose active
+corners were already evaluated earlier.  :class:`EvaluationCache` sits between
+the search stack and the corner evaluator and memoises every ``(sizing row,
+corner)`` pair, so none of those repeats ever reaches the (comparatively
+expensive) closed-form evaluator again.
+
+Rows are keyed by their fixed-width float64 byte patterns — the same
+bit-exact row identity the trust-region dedup builds its void views from.
+The whole block is exported with a single ``tobytes`` and sliced per row
+(NumPy void scalars stopped being hashable dict keys in NumPy 2), so the key
+is exact — bit-level, no rounding — and cheap to build.
+
+The cache is engine-agnostic: it wraps *any* corner evaluator with the
+``(samples, corners) -> (n_corners, count, n_metrics)`` contract, whether the
+stacked fast path or the looped parity oracle, and since both are
+bit-identical the cache never changes a search trajectory — it only removes
+repeat work.  It also keeps the benchmark accounting: ``eval_seconds`` is the
+wall time actually spent inside the wrapped evaluator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.circuits.pvt import PVTCondition
+
+#: A corner evaluator maps ``(count, dim)`` sizings and a corner list to a
+#: ``(n_corners, count, n_metrics)`` metric block.
+CornerEvaluator = Callable[[np.ndarray, Sequence[PVTCondition]], np.ndarray]
+
+
+class EvaluationCache:
+    """Memoise ``(sizing row, corner)`` -> metric row across search phases.
+
+    Parameters
+    ----------
+    corner_evaluator:
+        The true evaluator to wrap (stacked or looped engine).
+    dimension:
+        Sizing-vector length, fixing the void-view key width.
+    n_metrics:
+        Metric columns per corner (the evaluator's last axis).
+
+    Attributes
+    ----------
+    hits, misses:
+        Per ``(row, corner)`` pair counters: ``hits`` were served from the
+        cache, ``misses`` went to the true evaluator.
+    eval_seconds:
+        Cumulative wall time inside the wrapped evaluator.
+    """
+
+    def __init__(
+        self, corner_evaluator: CornerEvaluator, dimension: int, n_metrics: int
+    ) -> None:
+        self._evaluate = corner_evaluator
+        self._key_width = int(dimension) * np.dtype(np.float64).itemsize
+        self.n_metrics = int(n_metrics)
+        # One row-key -> metric-row dict per corner.  Keyed by the (frozen,
+        # hashable) PVTCondition itself, not its display name — the name
+        # rounds voltage/temperature for printing, so two distinct corners
+        # can share it.
+        self._store: Dict[PVTCondition, Dict[bytes, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.eval_seconds = 0.0
+
+    def __len__(self) -> int:
+        """Total number of cached ``(row, corner)`` pairs."""
+        return sum(len(store) for store in self._store.values())
+
+    def _row_keys(self, samples: np.ndarray) -> List[bytes]:
+        """Bit-exact per-row keys: one buffer export, sliced fixed-width."""
+        data = np.ascontiguousarray(samples).tobytes()
+        width = self._key_width
+        return [data[i * width : (i + 1) * width] for i in range(samples.shape[0])]
+
+    def evaluate(
+        self, samples: np.ndarray, corners: Sequence[PVTCondition]
+    ) -> np.ndarray:
+        """Metrics block ``(n_corners, count, n_metrics)``, memoised.
+
+        A row already cached at *every* requested corner is served entirely
+        from memory; all other rows go to the wrapped evaluator in a single
+        stacked call covering all requested corners at once (recomputing a
+        corner that was cached for such a row costs nothing extra in the
+        broadcast and returns bit-identical values).
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        corners = list(corners)
+        if not corners:
+            raise ValueError("evaluate needs at least one PVT corner")
+        count = samples.shape[0]
+        keys = self._row_keys(samples)
+        stores = [self._store.setdefault(corner, {}) for corner in corners]
+
+        # A row counts as fresh unless *every* requested corner has it; fresh
+        # rows are (re)computed at all corners, so each of their pairs is a
+        # miss, and each pair of a fully-cached row is a hit.
+        fresh = [
+            i
+            for i in range(count)
+            if any(keys[i] not in store for store in stores)
+        ]
+        self.hits += (count - len(fresh)) * len(corners)
+        self.misses += len(fresh) * len(corners)
+
+        out = np.empty((len(corners), count, self.n_metrics), dtype=np.float64)
+        if fresh:
+            started = time.perf_counter()
+            block = np.asarray(
+                self._evaluate(samples[fresh], corners), dtype=np.float64
+            )
+            self.eval_seconds += time.perf_counter() - started
+            out[:, fresh, :] = block
+            for corner_index, store in enumerate(stores):
+                for block_index, row_index in enumerate(fresh):
+                    store[keys[row_index]] = block[corner_index, block_index]
+        fresh_set = set(fresh)
+        for row_index in range(count):
+            if row_index in fresh_set:
+                continue
+            for corner_index, store in enumerate(stores):
+                out[corner_index, row_index] = store[keys[row_index]]
+        return out

@@ -6,6 +6,16 @@ evaluation cost by the corner count.  The paper's strategy: size at the
 across the full grid and fold only the corners that actually fail back into
 the active constraint set, re-searching with worst-case margins until either
 every corner passes or the phase budget runs out.
+
+The corner axis is *tensorized*: each phase's multi-corner evaluator and its
+full-grid verification are single
+:meth:`~repro.circuits.topologies.base.SizingProblem.evaluate_corners` calls
+(one NumPy broadcast over the whole corner set), routed through a cross-phase
+:class:`~repro.search.eval_cache.EvaluationCache` so warm-start points and
+repeat verifications never recompute.  ``ProgressiveConfig.corner_engine``
+selects between the ``"stacked"`` fast path and the ``"looped"`` per-corner
+parity oracle; the two are bit-identical, so the knob trades speed only,
+never trajectories.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import numpy as np
 
 from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
 from repro.core.design_space import DesignSpace
+from repro.search.eval_cache import CornerEvaluator, EvaluationCache
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import (
     BatchEvaluator,
@@ -29,6 +40,11 @@ from repro.search.trust_region import (
 #: ``evaluate_batch``) together with its metric names.
 EvaluatorFactory = Callable[[PVTCondition], BatchEvaluator]
 
+#: Corner evaluation engines the progressive loop accepts: ``"stacked"``
+#: broadcasts the whole corner grid in one NumPy pass, ``"looped"`` is the
+#: per-corner Python loop kept as the parity oracle.
+CORNER_ENGINES = ("stacked", "looped")
+
 
 @dataclass
 class ProgressiveConfig:
@@ -38,12 +54,22 @@ class ProgressiveConfig:
     belong to the corner-hardening loop itself.  ``backend`` overrides the
     trust-region config's training backend when set, so callers can flip
     every phase between the fused fast path and the autodiff oracle with a
-    single field.
+    single field.  ``corner_engine`` selects how multi-corner evaluations
+    run: ``"stacked"`` (default, one broadcast over the corner grid) or
+    ``"looped"`` (per-corner loop, the bit-identical parity oracle).
     """
 
     trust_region: TrustRegionConfig = field(default_factory=TrustRegionConfig)
     max_phases: int = 4
     backend: Optional[str] = None
+    corner_engine: str = "stacked"
+
+    def __post_init__(self) -> None:
+        if self.corner_engine not in CORNER_ENGINES:
+            raise ValueError(
+                f"unknown corner engine {self.corner_engine!r}; "
+                f"available: {', '.join(CORNER_ENGINES)}"
+            )
 
     def phase_trust_region(self) -> TrustRegionConfig:
         """The trust-region config with the backend override applied."""
@@ -88,6 +114,12 @@ class ProgressiveResult:
     corner_reports: List[CornerReport] = field(default_factory=list)
     phase_results: List[SearchResult] = field(default_factory=list)
     active_corners: List[PVTCondition] = field(default_factory=list)
+    #: Wall time inside the true corner evaluator, across all phases and
+    #: verifications (the ``eval_seconds`` the benchmark records).
+    eval_seconds: float = 0.0
+    #: Cross-phase evaluation-cache counters, per ``(row, corner)`` pair.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def failing_corners(self) -> List[PVTCondition]:
         return [report.condition for report in self.corner_reports if not report.satisfied]
@@ -123,9 +155,46 @@ def _stacked_specification(
     return Specification(stacked_specs, stacked_names)
 
 
-def _stacked_evaluator(evaluators: Sequence[BatchEvaluator]) -> BatchEvaluator:
+def _looped_corner_evaluator(
+    evaluator_factory: EvaluatorFactory, corners: Sequence[PVTCondition]
+) -> CornerEvaluator:
+    """The per-corner parity oracle: one factory-built evaluator per corner.
+
+    Keyed by the (frozen, hashable) conditions themselves — the display name
+    rounds voltage/temperature, so two distinct corners can share it.
+    """
+    evaluators = {corner: evaluator_factory(corner) for corner in corners}
+
+    def evaluate(samples: np.ndarray, subset: Sequence[PVTCondition]) -> np.ndarray:
+        return np.stack(
+            [
+                np.atleast_2d(
+                    np.asarray(evaluators[corner](samples), dtype=np.float64)
+                )
+                for corner in subset
+            ],
+            axis=0,
+        )
+
+    return evaluate
+
+
+def _phase_evaluator(
+    cache: EvaluationCache, corners: Sequence[PVTCondition]
+) -> BatchEvaluator:
+    """Adapt the cached corner tensor to the flat trust-region metric layout.
+
+    The ``(n_corners, count, n_metrics)`` block is reordered to the
+    corner-major column layout of :func:`_stacked_specification` — for each
+    sizing row, corner 0's metrics first, then corner 1's, and so on —
+    exactly the layout the historical per-corner concatenation produced.
+    """
+    corners = list(corners)
+
     def evaluate(samples: np.ndarray) -> np.ndarray:
-        return np.concatenate([evaluator(samples) for evaluator in evaluators], axis=1)
+        samples = np.atleast_2d(samples)
+        block = cache.evaluate(samples, corners)
+        return block.transpose(1, 0, 2).reshape(samples.shape[0], -1)
 
     return evaluate
 
@@ -138,13 +207,16 @@ def progressive_pvt_search(
     corners: Optional[Sequence[PVTCondition]] = None,
     config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
     max_phases: Optional[int] = None,
+    corner_evaluator: Optional[CornerEvaluator] = None,
 ) -> ProgressiveResult:
     """Size at the hardest corner first, then harden across the grid.
 
     Parameters
     ----------
     evaluator_factory:
-        Called once per corner to build that corner's batch evaluator.
+        Called once per corner to build that corner's batch evaluator; the
+        basis of the ``"looped"`` parity oracle (and the fallback when no
+        ``corner_evaluator`` is supplied).
     design_space, specs, metric_names:
         The CSP: single-corner metric layout plus the constraints that must
         hold at *every* corner.
@@ -156,6 +228,16 @@ def progressive_pvt_search(
     max_phases:
         Upper bound on re-search rounds (each adds the worst failing
         corner); overrides the :class:`ProgressiveConfig` value when given.
+    corner_evaluator:
+        Vectorized ``(samples, corners) -> (n_corners, count, n_metrics)``
+        evaluator (e.g. a topology's
+        :meth:`~repro.circuits.topologies.base.SizingProblem.evaluate_corners`),
+        used when the config's ``corner_engine`` is ``"stacked"``.  Must be
+        bit-identical to the per-corner loop over ``evaluator_factory``.
+
+    Whichever engine runs, every evaluation is routed through a cross-phase
+    :class:`~repro.search.eval_cache.EvaluationCache`, so phase warm-starts
+    and repeat grid verifications are served from memory.
     """
     progressive = _as_progressive_config(config, max_phases)
     if progressive.max_phases < 1:
@@ -164,7 +246,11 @@ def progressive_pvt_search(
     config = progressive.phase_trust_region()
     corners = list(corners) if corners is not None else nine_corner_grid()
     ranked = rank_by_severity(corners)
-    evaluators = {corner.name: evaluator_factory(corner) for corner in corners}
+    if progressive.corner_engine == "stacked" and corner_evaluator is not None:
+        engine = corner_evaluator
+    else:
+        engine = _looped_corner_evaluator(evaluator_factory, corners)
+    cache = EvaluationCache(engine, design_space.dimension, len(metric_names))
 
     active: List[PVTCondition] = [ranked[0]]
     total_evaluations = 0
@@ -176,7 +262,7 @@ def progressive_pvt_search(
 
     for phase in range(max_phases):
         specification = _stacked_specification(specs, metric_names, active)
-        evaluator = _stacked_evaluator([evaluators[corner.name] for corner in active])
+        evaluator = _phase_evaluator(cache, active)
         # dataclasses.replace keeps working if the config ever gains
         # non-init or derived fields, where reconstructing from __dict__
         # would silently break.
@@ -194,12 +280,13 @@ def progressive_pvt_search(
         best_vector = result.best_vector
         warm_start = best_vector[np.newaxis, :]
 
-        # Verify the phase winner across the full corner grid.
+        # Verify the phase winner across the full corner grid: one stacked
+        # call over every corner (the active ones come straight from cache).
         single_spec = Specification(specs, metric_names)
+        grid = cache.evaluate(best_vector[np.newaxis, :], ranked)
         corner_reports = []
         failing: List[PVTCondition] = []
-        for corner in ranked:
-            metrics = np.atleast_2d(evaluators[corner.name](best_vector[np.newaxis, :]))[0]
+        for corner, metrics in zip(ranked, grid[:, 0, :]):
             ok = bool(single_spec.satisfied(metrics[np.newaxis, :])[0])
             corner_reports.append(
                 CornerReport(
@@ -214,9 +301,10 @@ def progressive_pvt_search(
         if not failing:
             solved_all = True
             break
-        # Fold the worst *new* failing corner into the active set.
-        active_names = {corner.name for corner in active}
-        new_failures = [corner for corner in failing if corner.name not in active_names]
+        # Fold the worst *new* failing corner into the active set (frozen
+        # dataclass identity, not the rounded display name).
+        active_set = set(active)
+        new_failures = [corner for corner in failing if corner not in active_set]
         if not new_failures:
             # The search itself could not satisfy the active set; more
             # phases would re-run the same problem.
@@ -236,4 +324,7 @@ def progressive_pvt_search(
         corner_reports=corner_reports,
         phase_results=phase_results,
         active_corners=active,
+        eval_seconds=cache.eval_seconds,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
     )

@@ -19,7 +19,11 @@ from dataclasses import replace
 from typing import TYPE_CHECKING, Optional, Sequence, Type, Union
 
 from repro.circuits.pvt import PVTCondition
-from repro.search.progressive import ProgressiveResult, progressive_pvt_search
+from repro.search.progressive import (
+    ProgressiveConfig,
+    ProgressiveResult,
+    progressive_pvt_search,
+)
 from repro.search.spec import Spec
 from repro.search.trust_region import TrustRegionConfig
 
@@ -64,6 +68,7 @@ def size_problem(
     seed: Optional[int] = None,
     max_phases: int = 4,
     backend: Optional[str] = None,
+    corner_engine: Optional[str] = None,
 ) -> ProgressiveResult:
     """Run the progressive trust-region sizing search on one topology.
 
@@ -89,6 +94,11 @@ def size_problem(
     backend:
         Surrogate training backend (``"fused"`` or ``"autodiff"``); an
         explicit value overrides the config's ``backend`` field.
+    corner_engine:
+        Multi-corner evaluation engine: ``"stacked"`` (default, the whole
+        corner grid as one NumPy broadcast) or ``"looped"`` (per-corner
+        loop, the bit-identical parity oracle).  ``None`` defers to the
+        :class:`~repro.search.progressive.ProgressiveConfig` default.
     """
     # Imported lazily: the topology modules import repro.search.spec, so a
     # module-level import here would be circular.
@@ -109,12 +119,18 @@ def size_problem(
                 f"topology {nominal_problem.name!r} has no spec tier {tier!r}; "
                 f"available: {', '.join(sorted(ladder))}"
             ) from None
+    progressive = ProgressiveConfig(
+        trust_region=resolve_config(config, seed, backend),
+        max_phases=max_phases,
+    )
+    if corner_engine is not None:
+        progressive = replace(progressive, corner_engine=corner_engine)
     return progressive_pvt_search(
         evaluator_factory=factory,
         design_space=nominal_problem.design_space(),
         specs=specs,
         metric_names=nominal_problem.METRIC_NAMES,
         corners=corners,
-        config=resolve_config(config, seed, backend),
-        max_phases=max_phases,
+        config=progressive,
+        corner_evaluator=nominal_problem.evaluate_corners,
     )

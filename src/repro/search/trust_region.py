@@ -370,8 +370,17 @@ class TrustRegionSearch:
                     break
 
             improved = self._scores[self._best] > previous_best_score + 1e-12
-            # Line 8: incremental surrogate refit with persistent moments.
-            self._refit_surrogate(epochs=config.refit_epochs)
+            # Line 8: incremental surrogate refit with persistent moments —
+            # but only when another iteration will actually consume it.  If
+            # this batch met the spec or exhausted the budget, a refit would
+            # train a surrogate nobody ever queries (the RNG draws it would
+            # consume are equally dead, so skipping cannot shift a
+            # trajectory).
+            will_continue = (
+                self._scores[self._best] < -1e-9 and self._count < config.max_evaluations
+            )
+            if will_continue:
+                self._refit_surrogate(epochs=config.refit_epochs)
             # Line 9-10: adapt the trust-region radius.
             if improved:
                 radius = min(radius * config.expand, config.max_radius)

@@ -65,7 +65,14 @@ class TestRegistry:
     def test_corner_sets_resolve(self):
         assert len(BenchCase("ota_5t", "smoke", "nine").corners()) == 9
         assert len(BenchCase("ota_5t", "smoke", "hardest").corners()) == 1
+        assert len(BenchCase("ota_5t", "smoke", "full45").corners()) == 45
         assert BenchCase("ota_5t", "smoke", "nominal").corners()[0].process == "tt"
+
+    def test_corners_suite_scales_the_corner_axis(self):
+        """The corner-scaling suite runs one topology on nine vs full45."""
+        cases = get_suite("corners")
+        assert {case.topology for case in cases} == {"two_stage_opamp"}
+        assert [case.corner_set for case in cases] == ["nine", "full45"]
 
     def test_config_carries_seed_and_budget(self):
         config = BenchCase("ota_5t", "smoke", max_evaluations=123).config(seed=7)
@@ -83,6 +90,7 @@ class TestRunner:
         assert tiny_result["name"].startswith("ota_5t/smoke/nominal")
         assert tiny_result["design_dims"] == 5
         assert tiny_result["backend"] == "fused"  # the library default
+        assert tiny_result["corner_engine"] == "stacked"  # the library default
         assert 0.0 <= tiny_result["success_rate"] <= 1.0
         assert len(tiny_result["per_seed"]) == 2
         for record in tiny_result["per_seed"]:
@@ -91,12 +99,19 @@ class TestRunner:
                 "solved",
                 "evaluations",
                 "refit_seconds",
+                "eval_seconds",
                 "wall_seconds",
                 "phases",
+                "failing_corners",
                 "best_sizing",
             }
             assert record["evaluations"] > 0
             assert record["wall_seconds"] >= record["refit_seconds"] >= 0.0
+            assert record["wall_seconds"] >= record["eval_seconds"] >= 0.0
+            # A solved seed has no failing corners (and vice versa the list
+            # names exactly the corners that sank an unsolved one).
+            if record["solved"]:
+                assert record["failing_corners"] == []
 
     def test_tiny_case_solves(self, tiny_result):
         assert tiny_result["success_rate"] == 1.0
@@ -118,10 +133,11 @@ class TestRunner:
 
     def test_suite_payload_and_artifact(self, tmp_path):
         payload = run_suite("tiny", seeds=[0])
-        assert payload["schema"] == SCHEMA == "repro.bench/v2"
+        assert payload["schema"] == SCHEMA == "repro.bench/v3"
         assert payload["suite"] == "tiny"
         assert payload["seeds"] == [0]
         assert payload["backend"] == "fused"
+        assert payload["corner_engine"] == "stacked"
         assert payload["totals"]["cases"] == len(payload["cases"])
         path = tmp_path / "BENCH_tiny.json"
         write_bench_json(payload, str(path))
@@ -200,6 +216,30 @@ class TestCLI:
         with pytest.raises(SystemExit):
             bench_main(["--suite", "tiny", "--backend", "jax"])
 
+    def test_cli_corner_engine_flag(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = bench_main(
+            ["--suite", "tiny", "--seeds", "1", "--corner-engine", "looped",
+             "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["corner_engine"] == "looped"
+        assert all(case["corner_engine"] == "looped" for case in payload["cases"])
+
+    def test_cli_rejects_unknown_corner_engine(self):
+        with pytest.raises(SystemExit):
+            bench_main(["--suite", "tiny", "--corner-engine", "spiral"])
+
+    def test_corner_engines_produce_identical_trajectories(self):
+        """Stacked corner evaluation is bit-identical to the looped oracle."""
+        (case,) = get_suite("tiny")
+        stacked = run_case(case, seeds=[0], corner_engine="stacked")["per_seed"][0]
+        looped = run_case(case, seeds=[0], corner_engine="looped")["per_seed"][0]
+        assert stacked["evaluations"] == looped["evaluations"]
+        assert stacked["best_sizing"] == looped["best_sizing"]
+        assert stacked["solved"] == looped["solved"]
+
 
 class TestCrossCheck:
     def test_cross_check_passes_on_builtin_case(self, capsys):
@@ -216,7 +256,8 @@ class TestCrossCheck:
     def test_cli_cross_check_rejects_ignored_flags(self):
         """Flags the guard would silently drop must be an error instead."""
         for extra in (["--seeds", "5"], ["--output", "x.json"],
-                      ["--backend", "autodiff"], ["--fail-under", "1.0"]):
+                      ["--backend", "autodiff"], ["--fail-under", "1.0"],
+                      ["--corner-engine", "looped"]):
             with pytest.raises(SystemExit):
                 bench_main(["--cross-check", "--suite", "tiny"] + extra)
 
