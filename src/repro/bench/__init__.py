@@ -5,9 +5,13 @@ trust-region search on every registered (topology, spec tier, corner set)
 case and writes a ``BENCH_<suite>.json`` artifact with per-problem success
 rate, median evaluations-to-feasible, surrogate-refit time, true-evaluator
 time and wall time — the numbers every scaling/speed PR is measured
-against.  ``--backend`` selects the surrogate training path and
-``--corner-engine`` the multi-corner evaluation engine; both knobs are
-bit-identical across their settings, so they trade speed only.
+against.  All seeds of a case run as one multi-seed
+:class:`~repro.search.campaign.Campaign` by default (shared vectorized
+corner passes; ``--execution sequential`` is the per-seed oracle).
+``--backend`` selects the surrogate training path, ``--corner-engine`` the
+multi-corner evaluation engine and ``--optimizer`` the search strategy;
+the first two are bit-identical across their settings, so they trade speed
+only.  ``--list`` enumerates everything the registry can run.
 """
 
 from repro.bench.registry import (
@@ -18,8 +22,10 @@ from repro.bench.registry import (
     register_benchmark,
 )
 from repro.bench.runner import (
+    EXECUTIONS,
     SCHEMA,
     cross_check,
+    format_listing,
     format_summary,
     run_case,
     run_suite,
@@ -29,9 +35,11 @@ from repro.bench.runner import (
 __all__ = [
     "BenchCase",
     "CORNER_SETS",
+    "EXECUTIONS",
     "SCHEMA",
     "available_suites",
     "cross_check",
+    "format_listing",
     "format_summary",
     "get_suite",
     "register_benchmark",

@@ -25,6 +25,7 @@ from repro.circuits.pvt import (
     nine_corner_grid,
 )
 from repro.circuits.topologies import SPEC_TIERS
+from repro.search.optimizer import available_optimizers
 from repro.search.trust_region import TrustRegionConfig
 
 #: Named sign-off corner sets a case can request.
@@ -38,7 +39,13 @@ CORNER_SETS: Dict[str, Callable[[], List[PVTCondition]]] = {
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One benchmark problem: a topology at a spec tier over a corner set."""
+    """One benchmark problem: a topology at a spec tier over a corner set.
+
+    ``optimizer`` names the registered search strategy the case runs
+    (``"trust_region"`` default); baseline cases pin ``"random"`` or
+    ``"cross_entropy"`` so the artifacts calibrate what surrogate guidance
+    actually buys.
+    """
 
     topology: str
     tier: str
@@ -47,6 +54,7 @@ class BenchCase:
     load_cap: float = 2e-12
     max_evaluations: int = 400
     max_phases: int = 4
+    optimizer: str = "trust_region"
 
     def __post_init__(self) -> None:
         if self.tier not in SPEC_TIERS:
@@ -58,6 +66,11 @@ class BenchCase:
             raise ValueError(
                 f"unknown corner set {self.corner_set!r}; "
                 f"available: {', '.join(sorted(CORNER_SETS))}"
+            )
+        if self.optimizer not in available_optimizers():
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"available: {', '.join(available_optimizers())}"
             )
 
     @property
@@ -106,6 +119,12 @@ _SUITES: Dict[str, List[BenchCase]] = {
         BenchCase("ota_5t", "nominal", "hardest"),
         BenchCase("folded_cascode", "nominal", "nine"),
         BenchCase("telescopic", "nominal", "nine"),
+        # Monte-Carlo baseline on an easy single-corner case (the smoke
+        # tier is ~1-in-47 feasible under uniform sampling, so a 400-eval
+        # random search signs off deterministically at the CI seeds):
+        # calibrates what the surrogate-guided agent buys, and keeps a
+        # non-trust-region optimizer exercised by every smoke run.
+        BenchCase("two_stage_opamp", "smoke", "nominal", optimizer="random"),
     ],
     # Overnight matrix: the nominal cases plus the stretch tiers at the
     # hardest corner with a doubled budget.

@@ -1,49 +1,59 @@
 """Benchmark runner: execute suites, aggregate, and emit BENCH JSON.
 
-Every case runs the same progressive trust-region search users get from
-:func:`repro.search.sizing.size_problem`, once per seed, and records the
+Every case runs the same progressive search users get from
+:func:`repro.search.sizing.size_problem`, across seeds, and records the
 numbers the ROADMAP tracks per PR:
 
 * **success rate** — fraction of seeds whose winner passes every spec at
   every corner of the case's corner set;
 * **median evaluations-to-feasible** — median (over successful seeds) of
   true-evaluator calls consumed, the paper's efficiency metric;
-* **surrogate-refit seconds** — wall time inside the incremental MLP refits;
-* **wall seconds** — end-to-end search time.
+* **refit/eval/wall seconds** — surrogate-refit, true-evaluator and
+  end-to-end wall time, totalled across the case's seeds.
 
-The JSON artifact schema is ``repro.bench/v3`` (see README "Benchmarking").
-Relative to v2 it adds the ``corner_engine`` (stacked corner tensorization
-vs the looped oracle) at the top level and per case, ``eval_seconds`` — wall
-time inside the true corner evaluator — next to ``refit_seconds``, and the
-``failing_corners`` names per seed so an unsolved run says *which* corners
-sank it:
+Execution is the multi-seed vectorized
+:class:`~repro.search.campaign.Campaign` by default: all seeds of a case
+run in lockstep rounds sharing single stacked ``evaluate_corners`` passes
+(far fewer, larger evaluator calls), bit-exact per seed versus
+``--execution sequential``, the one-seed-at-a-time oracle path.
+
+The JSON artifact schema is ``repro.bench/v4`` (see README "Benchmarking").
+Relative to v3 it adds the ``optimizer`` (registered search strategy) and
+``execution`` fields at the top level and per case, an ``eval`` accounting
+block per case (engine calls, lockstep rounds, cache hits/misses,
+evaluator wall time), switches the per-case timing fields to totals across
+seeds, and slims ``per_seed`` to the seed-separable fields (all built by
+``ProgressiveResult.to_dict``):
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v3",
+      "schema": "repro.bench/v4",
       "suite": "smoke",
       "seeds": [0, 1, 2],
       "backend": "fused",
       "corner_engine": "stacked",
+      "optimizer": "mixed",
+      "execution": "campaign",
       "cases": [
         {
           "name": "two_stage_opamp/nominal/nine",
           "topology": "two_stage_opamp", "tier": "nominal",
           "corner_set": "nine", "design_dims": 8, "backend": "fused",
-          "corner_engine": "stacked",
+          "corner_engine": "stacked", "optimizer": "trust_region",
+          "execution": "campaign",
           "success_rate": 1.0,
           "median_evaluations_to_feasible": 113,
-          "mean_refit_seconds": 0.04, "mean_eval_seconds": 0.004,
-          "mean_wall_seconds": 0.06,
+          "refit_seconds": 0.12, "eval_seconds": 0.01, "wall_seconds": 0.2,
+          "eval": {"engine_calls": 31, "rounds": 29,
+                   "cache_hits": 27, "cache_misses": 9486},
           "per_seed": [{"seed": 0, "solved": true, "evaluations": 169,
-                        "refit_seconds": 0.05, "eval_seconds": 0.004,
-                        "wall_seconds": 0.07, "phases": 2,
+                        "phases": 2, "refit_seconds": 0.05,
                         "failing_corners": [],
                         "best_sizing": {"w1": 4.6e-05}}]
         }
       ],
-      "totals": {"cases": 4, "solved_fraction": 1.0, "wall_seconds": 0.9}
+      "totals": {"cases": 5, "solved_fraction": 1.0, "wall_seconds": 0.9}
     }
 """
 
@@ -55,12 +65,37 @@ from dataclasses import replace
 from statistics import median
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.bench.registry import BenchCase, get_suite
-from repro.circuits.topologies import get_topology
-from repro.search.progressive import ProgressiveConfig
-from repro.search.sizing import size_problem
+from repro.bench.registry import (
+    CORNER_SETS,
+    BenchCase,
+    available_suites,
+    get_suite,
+)
+from repro.circuits.topologies import available_topologies, get_topology
+from repro.circuits.topologies.base import SPEC_TIERS
+from repro.search.optimizer import available_optimizers
+from repro.search.progressive import ProgressiveConfig, ProgressiveResult
+from repro.search.sizing import build_campaign, size_problem
 
-SCHEMA = "repro.bench/v3"
+SCHEMA = "repro.bench/v4"
+
+#: How a case's seeds execute: ``campaign`` batches all seeds through
+#: shared vectorized corner passes, ``sequential`` runs one
+#: :func:`size_problem` per seed (the bit-exact oracle path).
+EXECUTIONS = ("campaign", "sequential")
+
+#: Per-seed fields that are not seed-separable under shared campaign
+#: evaluation; they are aggregated into the case-level ``eval`` block.
+_CASE_LEVEL_FIELDS = ("eval_seconds", "cache_hits", "cache_misses", "engine_calls")
+
+
+def _per_seed_record(seed: int, result: ProgressiveResult) -> Dict[str, Any]:
+    record: Dict[str, Any] = {"seed": int(seed)}
+    record.update(result.to_dict())
+    for name in _CASE_LEVEL_FIELDS:
+        record.pop(name, None)
+    record["refit_seconds"] = round(record["refit_seconds"], 6)
+    return record
 
 
 def run_case(
@@ -68,62 +103,86 @@ def run_case(
     seeds: Sequence[int],
     backend: Optional[str] = None,
     corner_engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
+    execution: str = "campaign",
 ) -> Dict[str, Any]:
     """Run one benchmark case across seeds and aggregate the statistics.
 
-    ``backend`` overrides the surrogate-training backend of every seed's
-    config (``None`` keeps the case default, i.e. the library default);
-    ``corner_engine`` likewise selects stacked corner evaluation vs the
-    looped oracle.
+    ``backend``, ``corner_engine`` and ``optimizer`` override the case's
+    configuration when given (``None`` defers to the case, which defers to
+    the library defaults).  ``execution`` selects the multi-seed
+    vectorized campaign (default) or the sequential per-seed oracle; the
+    two are bit-exact per seed and differ only in evaluator batching.
     """
+    if execution not in EXECUTIONS:
+        raise ValueError(
+            f"unknown execution {execution!r}; available: {', '.join(EXECUTIONS)}"
+        )
     problem_cls = get_topology(case.topology)
     design_dims = len(problem_cls.VARIABLE_NAMES)
-    per_seed: List[Dict[str, Any]] = []
+    seeds = [int(seed) for seed in seeds]
     effective_backend = backend if backend is not None else case.config(0).backend
-    # Derived, not duplicated: with no override, size_problem defers to the
+    # Derived, not duplicated: with no override, the campaign defers to the
     # ProgressiveConfig default, so report exactly that.
     effective_engine = (
         corner_engine if corner_engine is not None else ProgressiveConfig().corner_engine
     )
-    for seed in seeds:
-        config = case.config(seed)
-        if backend is not None:
-            config = replace(config, backend=backend)
-        started = time.perf_counter()
-        result = size_problem(
+    effective_optimizer = optimizer if optimizer is not None else case.optimizer
+
+    started = time.perf_counter()
+    if execution == "campaign":
+        campaign = build_campaign(
             case.topology,
             technology=case.technology,
             load_cap=case.load_cap,
             tier=case.tier,
             corners=case.corners(),
-            config=config,
-            max_phases=case.max_phases,
+            config=case.config(seeds[0] if seeds else 0),
+            seeds=seeds,
+            backend=backend,
             corner_engine=corner_engine,
+            optimizer=effective_optimizer,
+            max_phases=case.max_phases,
         )
-        wall = time.perf_counter() - started
-        per_seed.append(
-            {
-                "seed": int(seed),
-                "solved": bool(result.solved_all_corners),
-                "evaluations": int(result.evaluations),
-                "refit_seconds": round(result.refit_seconds, 6),
-                "eval_seconds": round(result.eval_seconds, 6),
-                "wall_seconds": round(wall, 6),
-                "phases": len(result.phase_results),
-                "failing_corners": [
-                    corner.name for corner in result.failing_corners()
-                ],
-                "best_sizing": {k: float(v) for k, v in result.best_sizing.items()},
-            }
-        )
+        outcome = campaign.run()
+        results = outcome.results
+        eval_block: Dict[str, Any] = {
+            "engine_calls": outcome.engine_calls,
+            "rounds": outcome.rounds,
+            "cache_hits": outcome.cache_hits,
+            "cache_misses": outcome.cache_misses,
+        }
+        eval_seconds = outcome.eval_seconds
+    else:
+        results = []
+        for seed in seeds:
+            config = case.config(seed)
+            if backend is not None:
+                config = replace(config, backend=backend)
+            results.append(
+                size_problem(
+                    case.topology,
+                    technology=case.technology,
+                    load_cap=case.load_cap,
+                    tier=case.tier,
+                    corners=case.corners(),
+                    config=config,
+                    max_phases=case.max_phases,
+                    corner_engine=corner_engine,
+                    optimizer=effective_optimizer,
+                )
+            )
+        eval_block = {
+            "engine_calls": sum(result.engine_calls for result in results),
+            "rounds": None,
+            "cache_hits": sum(result.cache_hits for result in results),
+            "cache_misses": sum(result.cache_misses for result in results),
+        }
+        eval_seconds = sum(result.eval_seconds for result in results)
+    wall = time.perf_counter() - started
 
+    per_seed = [_per_seed_record(seed, result) for seed, result in zip(seeds, results)]
     solved = [record for record in per_seed if record["solved"]]
-
-    def mean_of(key: str) -> float:
-        if not per_seed:
-            return 0.0
-        return round(sum(record[key] for record in per_seed) / len(per_seed), 6)
-
     return {
         "name": case.name,
         "topology": case.topology,
@@ -133,15 +192,23 @@ def run_case(
         "design_dims": design_dims,
         "backend": effective_backend,
         "corner_engine": effective_engine,
+        "optimizer": effective_optimizer,
+        "execution": execution,
         "success_rate": len(solved) / len(per_seed) if per_seed else 0.0,
         "median_evaluations_to_feasible": (
             int(median(record["evaluations"] for record in solved)) if solved else None
         ),
-        "mean_refit_seconds": mean_of("refit_seconds"),
-        "mean_eval_seconds": mean_of("eval_seconds"),
-        "mean_wall_seconds": mean_of("wall_seconds"),
+        "refit_seconds": round(sum(r["refit_seconds"] for r in per_seed), 6),
+        "eval_seconds": round(eval_seconds, 6),
+        "wall_seconds": round(wall, 6),
+        "eval": eval_block,
         "per_seed": per_seed,
     }
+
+
+def _uniform(values: Sequence[str]) -> str:
+    unique = set(values)
+    return next(iter(unique)) if len(unique) == 1 else "mixed"
 
 
 def run_suite(
@@ -149,26 +216,33 @@ def run_suite(
     seeds: Sequence[int] = (0, 1, 2),
     backend: Optional[str] = None,
     corner_engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
+    execution: str = "campaign",
 ) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v3`` payload."""
+    """Run every case of a suite; returns the ``repro.bench/v4`` payload."""
     cases = get_suite(suite)
     started = time.perf_counter()
     case_results = [
-        run_case(case, seeds, backend=backend, corner_engine=corner_engine)
+        run_case(
+            case,
+            seeds,
+            backend=backend,
+            corner_engine=corner_engine,
+            optimizer=optimizer,
+            execution=execution,
+        )
         for case in cases
     ]
     wall = time.perf_counter() - started
     runs = [record for result in case_results for record in result["per_seed"]]
-    case_backends = {result["backend"] for result in case_results}
-    case_engines = {result["corner_engine"] for result in case_results}
     return {
         "schema": SCHEMA,
         "suite": suite,
         "seeds": [int(seed) for seed in seeds],
-        "backend": next(iter(case_backends)) if len(case_backends) == 1 else "mixed",
-        "corner_engine": (
-            next(iter(case_engines)) if len(case_engines) == 1 else "mixed"
-        ),
+        "backend": _uniform([result["backend"] for result in case_results]),
+        "corner_engine": _uniform([result["corner_engine"] for result in case_results]),
+        "optimizer": _uniform([result["optimizer"] for result in case_results]),
+        "execution": execution,
         "cases": case_results,
         "totals": {
             "cases": len(case_results),
@@ -249,18 +323,21 @@ def format_summary(payload: Dict[str, Any]) -> str:
         f"suite {payload['suite']!r} | seeds {payload['seeds']} "
         f"| backend {payload['backend']} "
         f"| corners {payload['corner_engine']} "
+        f"| optimizer {payload['optimizer']} "
+        f"| {payload['execution']} execution "
         f"| {payload['totals']['wall_seconds']:.1f} s total",
-        f"{'case':42s} {'dims':>4s} {'succ':>6s} {'evals':>6s} "
-        f"{'refit_s':>8s} {'eval_s':>8s} {'wall_s':>7s}",
+        f"{'case':48s} {'dims':>4s} {'succ':>6s} {'evals':>6s} "
+        f"{'refit_s':>8s} {'eval_s':>8s} {'calls':>6s} {'wall_s':>7s}",
     ]
     for case in payload["cases"]:
         evals = case["median_evaluations_to_feasible"]
         lines.append(
-            f"{case['name']:42s} {case['design_dims']:>4d} "
+            f"{case['name']:48s} {case['design_dims']:>4d} "
             f"{case['success_rate']:>6.2f} "
             f"{(str(evals) if evals is not None else '-'):>6s} "
-            f"{case['mean_refit_seconds']:>8.3f} "
-            f"{case['mean_eval_seconds']:>8.3f} {case['mean_wall_seconds']:>7.2f}"
+            f"{case['refit_seconds']:>8.3f} "
+            f"{case['eval_seconds']:>8.3f} "
+            f"{case['eval']['engine_calls']:>6d} {case['wall_seconds']:>7.2f}"
         )
     totals = payload["totals"]
     lines.append(
@@ -270,11 +347,28 @@ def format_summary(payload: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def format_listing() -> str:
+    """Everything the registry knows: suites, topologies, tiers, optimizers.
+
+    The ``--list`` output (also shown when ``--suite`` names an unknown
+    suite), so discovering what the harness can run never requires reading
+    source.
+    """
+    lines = ["suites:"]
+    for suite in available_suites():
+        lines.append(f"  {suite}:")
+        for case in get_suite(suite):
+            lines.append(f"    {case.name}")
+    lines.append(f"topologies: {', '.join(available_topologies())}")
+    lines.append(f"spec tiers: {', '.join(SPEC_TIERS)}")
+    lines.append(f"corner sets: {', '.join(sorted(CORNER_SETS))}")
+    lines.append(f"optimizers: {', '.join(available_optimizers())}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: ``python -m repro.bench --suite smoke --seeds 3``."""
     import argparse
-
-    from repro.bench.registry import available_suites
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -283,8 +377,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--suite",
         default="smoke",
-        choices=available_suites(),
-        help="benchmark suite to run (default: smoke)",
+        help="benchmark suite to run (default: smoke; see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered suites, topologies, spec tiers, corner sets "
+        "and optimizers, then exit",
     )
     parser.add_argument(
         "--seeds",
@@ -322,6 +421,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "default, stacked; looped is the per-corner parity oracle)",
     )
     parser.add_argument(
+        "--optimizer",
+        default=None,
+        choices=available_optimizers(),
+        help="search-strategy override for every case (default: each "
+        "case's registered optimizer, usually trust_region)",
+    )
+    parser.add_argument(
+        "--execution",
+        default="campaign",
+        choices=EXECUTIONS,
+        help="how a case's seeds run: 'campaign' (default) batches all "
+        "seeds through shared vectorized corner passes, 'sequential' runs "
+        "one seed at a time (bit-exact per seed, more evaluator calls)",
+    )
+    parser.add_argument(
         "--cross-check",
         action="store_true",
         help="instead of running the suite, run its first case once per "
@@ -329,6 +443,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "refit (the CI backend guard)",
     )
     args = parser.parse_args(argv)
+
+    if args.list:
+        print(format_listing())
+        return 0
+    if args.suite not in available_suites():
+        print(f"unknown bench suite {args.suite!r}\n")
+        print(format_listing())
+        return 2
 
     if args.cross_check:
         # The guard has its own fixed protocol (one seed, both backends, no
@@ -340,6 +462,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--output", args.output),
                 ("--backend", args.backend),
                 ("--corner-engine", args.corner_engine),
+                ("--optimizer", args.optimizer),
             )
             if value is not None
         ]
@@ -360,6 +483,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seeds=range(seeds),
         backend=args.backend,
         corner_engine=args.corner_engine,
+        optimizer=args.optimizer,
+        execution=args.execution,
     )
     output = args.output or f"BENCH_{args.suite}.json"
     write_bench_json(payload, output)

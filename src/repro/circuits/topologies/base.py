@@ -166,6 +166,30 @@ class SizingProblem(ABC):
         """A sibling problem derated to another corner (same node and load)."""
         return type(self)(self.base_card, condition, self.load_cap)
 
+    def evaluation_handle(self):
+        """Everything the Campaign driver needs to evaluate this problem.
+
+        Bundles the design space, the metric layout, the stacked
+        :meth:`evaluate_corners` tensor evaluator and the per-corner
+        :meth:`for_condition` factory (the looped parity oracle) into an
+        :class:`~repro.search.campaign.EvaluationHandle`, so the search
+        stack never has to know topology internals.
+        """
+        # Imported lazily: the search stack imports repro.search.spec from
+        # this module's package, so a module-level import would be heavy at
+        # best and fragile to reorder.
+        from repro.search.campaign import EvaluationHandle
+
+        def factory(condition: PVTCondition):
+            return self.for_condition(condition).evaluate_batch
+
+        return EvaluationHandle(
+            design_space=self.design_space(),
+            metric_names=tuple(self.METRIC_NAMES),
+            corner_evaluator=self.evaluate_corners,
+            evaluator_factory=factory,
+        )
+
     def evaluate_corners(
         self, samples: np.ndarray, corners: Sequence[PVTCondition]
     ) -> np.ndarray:

@@ -1,6 +1,27 @@
-"""Surrogate-assisted trust-region sizing search (Algorithm 1 + Section IV-E)."""
+"""Surrogate-assisted trust-region sizing search (Algorithm 1 + Section IV-E).
 
+Layered since the ask/tell redesign: optimizers (``Optimizer`` protocol —
+``TrustRegionSearch``, ``RandomSearch``, ``CrossEntropySearch``) own the
+proposal side; the ``Campaign`` driver owns evaluation (budget, the
+cross-phase ``EvaluationCache``, multi-seed vectorized corner passes);
+``progressive_pvt_search`` and ``size_problem`` are the historical entry
+points, kept bit-exact as single-seed campaign compat layers.
+"""
+
+from repro.search.campaign import Campaign, CampaignResult, EvaluationHandle
 from repro.search.eval_cache import CornerEvaluator, EvaluationCache
+from repro.search.optimizer import (
+    CrossEntropySearch,
+    DatasetOptimizer,
+    Incumbent,
+    IterationRecord,
+    Optimizer,
+    RandomSearch,
+    SearchResult,
+    available_optimizers,
+    get_optimizer,
+    register_optimizer,
+)
 from repro.search.progressive import (
     CORNER_ENGINES,
     CornerReport,
@@ -8,30 +29,41 @@ from repro.search.progressive import (
     ProgressiveResult,
     progressive_pvt_search,
 )
-from repro.search.sizing import size_problem
+from repro.search.sizing import build_campaign, resolve_config, size_problem
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import (
     SEARCH_BACKENDS,
-    IterationRecord,
-    SearchResult,
     TrustRegionConfig,
     TrustRegionSearch,
 )
 
 __all__ = [
     "CORNER_ENGINES",
+    "Campaign",
+    "CampaignResult",
     "CornerEvaluator",
     "CornerReport",
+    "CrossEntropySearch",
+    "DatasetOptimizer",
     "EvaluationCache",
+    "EvaluationHandle",
+    "Incumbent",
     "IterationRecord",
+    "Optimizer",
     "ProgressiveConfig",
     "ProgressiveResult",
+    "RandomSearch",
     "SEARCH_BACKENDS",
     "SearchResult",
     "Spec",
     "Specification",
     "TrustRegionConfig",
     "TrustRegionSearch",
+    "available_optimizers",
+    "build_campaign",
+    "get_optimizer",
     "progressive_pvt_search",
+    "register_optimizer",
+    "resolve_config",
     "size_problem",
 ]

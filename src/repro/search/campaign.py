@@ -1,0 +1,392 @@
+"""The Campaign driver: evaluation ownership for ask/tell optimizers.
+
+The ask/tell redesign splits the search stack into two halves.  Optimizers
+(:mod:`repro.search.optimizer`) own the *proposal* side — what to evaluate
+next.  The :class:`Campaign` owns the *evaluation* side:
+
+* the true corner evaluator (a topology's
+  :meth:`~repro.circuits.topologies.base.SizingProblem.evaluate_corners`
+  or the looped per-corner parity oracle), wrapped in the cross-phase
+  :class:`~repro.search.eval_cache.EvaluationCache`;
+* budget and wall-time accounting (``eval_seconds``, engine calls, cache
+  hits/misses);
+* the progressive PVT corner-hardening schedule of Section IV-E, run as a
+  per-seed state machine (size at the hardest corner, verify over the full
+  grid, fold failing corners back in);
+* **multi-seed vectorized execution**: each round the Campaign gathers the
+  pending ``ask`` batches of every live seed, groups them by corner set,
+  stacks each group into a single :func:`evaluate_corners` tensor pass,
+  and scatters the ``tell``\\ s back.  Per ``(row, corner)`` pair the
+  stacked evaluator is bit-identical however the pass is batched, so
+  trajectories never depend on how many seeds share a round — the
+  multi-seed path is bit-exact versus running the seeds sequentially
+  (locked by tests) and computes no extra ``(row, corner)`` pairs; it just
+  issues far fewer, larger evaluator calls.
+
+:func:`repro.search.progressive.progressive_pvt_search` and
+:func:`repro.search.sizing.size_problem` are thin compatibility layers over
+a single-seed Campaign and reproduce the pre-redesign behaviour bit-exactly
+at a fixed seed/config.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
+from repro.core.design_space import DesignSpace
+from repro.search.eval_cache import CornerEvaluator, EvaluationCache
+from repro.search.optimizer import Optimizer, get_optimizer
+from repro.search.progressive import (
+    CornerReport,
+    EvaluatorFactory,
+    ProgressiveConfig,
+    ProgressiveResult,
+    _as_progressive_config,
+    _looped_corner_evaluator,
+    _stacked_specification,
+)
+from repro.search.spec import Spec, Specification
+from repro.search.trust_region import TrustRegionConfig
+
+
+@dataclass(frozen=True)
+class EvaluationHandle:
+    """Everything a :class:`Campaign` needs to evaluate one workload.
+
+    Produced by
+    :meth:`~repro.circuits.topologies.base.SizingProblem.evaluation_handle`;
+    tests and third-party problems can also build one directly around any
+    pair of evaluators honouring the corner-tensor contract.
+
+    Attributes
+    ----------
+    design_space:
+        The gridded CSP domain shared by every optimizer of the campaign.
+    metric_names:
+        Single-corner metric layout (columns of the evaluator output).
+    corner_evaluator:
+        Vectorized ``(samples, corners) -> (n_corners, count, n_metrics)``
+        stacked evaluator, or ``None`` when only the looped path exists.
+    evaluator_factory:
+        Per-corner batch-evaluator factory — the looped parity oracle (and
+        the fallback when ``corner_evaluator`` is ``None``).
+    """
+
+    design_space: DesignSpace
+    metric_names: Tuple[str, ...]
+    corner_evaluator: Optional[CornerEvaluator] = None
+    evaluator_factory: Optional[EvaluatorFactory] = None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a (possibly multi-seed) campaign, plus eval accounting."""
+
+    #: One :class:`ProgressiveResult` per seed, in ``seeds`` order.
+    results: List[ProgressiveResult]
+    seeds: List[int]
+    #: Number of lockstep evaluation rounds the campaign ran.
+    rounds: int
+    #: Invocations of the wrapped corner evaluator (the "fewer, larger
+    #: calls" the multi-seed tensor batching is about).
+    engine_calls: int
+    #: Wall time inside the true corner evaluator, campaign-wide.
+    eval_seconds: float
+    #: Cross-phase evaluation-cache counters, per ``(row, corner)`` pair.
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def solved_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.solved_all_corners for r in self.results) / len(self.results)
+
+
+class _ProgressiveMember:
+    """One seed's progressive corner-hardening search, as a state machine.
+
+    Mirrors the historical sequential loop exactly — phase optimizer at the
+    active corner set, full-grid verification of the phase winner, fold the
+    worst new failing corner, repeat — but exposes it one evaluation request
+    at a time so the Campaign can batch requests across seeds.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        design_space: DesignSpace,
+        specs: Sequence[Spec],
+        metric_names: Sequence[str],
+        ranked: Sequence[PVTCondition],
+        trust_config: TrustRegionConfig,
+        optimizer_name: str,
+        max_phases: int,
+    ) -> None:
+        self.seed = seed
+        self.design_space = design_space
+        self.specs = list(specs)
+        self.metric_names = list(metric_names)
+        self.ranked = list(ranked)
+        self.config = (
+            replace(trust_config, seed=seed) if trust_config.seed != seed else trust_config
+        )
+        self.optimizer_cls = get_optimizer(optimizer_name)
+        self.max_phases = max_phases
+        self._single_spec = Specification(self.specs, self.metric_names)
+
+        self.active: List[PVTCondition] = [self.ranked[0]]
+        self.phase = 0
+        self.total_evaluations = 0
+        self.phase_results: List = []
+        self.corner_reports: List[CornerReport] = []
+        self.solved_all = False
+        self.finished = False
+        self.warm_start: Optional[np.ndarray] = None
+        self.best_vector: Optional[np.ndarray] = None
+        self._state = "search"
+        self._pending_rows: Optional[np.ndarray] = None
+        self.optimizer = self._build_optimizer()
+
+    def _build_optimizer(self) -> Optimizer:
+        specification = _stacked_specification(
+            self.specs, self.metric_names, self.active
+        )
+        # dataclasses.replace keeps working if the config ever gains
+        # non-init or derived fields, where reconstructing from __dict__
+        # would silently break.
+        phase_config = replace(self.config, seed=self.config.seed + self.phase)
+        return self.optimizer_cls(
+            None,
+            self.design_space,
+            specification,
+            config=phase_config,
+            initial_points=self.warm_start,
+        )
+
+    def request(self) -> Optional[Tuple[np.ndarray, List[PVTCondition]]]:
+        """The member's next evaluation request, or ``None`` when finished."""
+        while not self.finished:
+            if self._state == "search":
+                if not self.optimizer.is_done:
+                    rows = self.optimizer.ask()
+                    if rows.shape[0]:
+                        self._pending_rows = rows
+                        return rows, self.active
+                    continue  # the ask flipped is_done; fall through next pass
+                # Phase over: collect its result, verify over the full grid.
+                result = self.optimizer.result()
+                self.phase_results.append(result)
+                self.total_evaluations += result.evaluations
+                self.best_vector = result.best_vector
+                self.warm_start = self.best_vector[np.newaxis, :]
+                self._state = "verify"
+                return self.best_vector[np.newaxis, :], self.ranked
+            raise RuntimeError(f"member in unexpected state {self._state!r}")
+        return None
+
+    def receive(self, block: np.ndarray) -> None:
+        """Consume the metric block ``(n_corners, count, n_metrics)`` of the
+        member's last request."""
+        if self._state == "search":
+            # Reorder to the corner-major column layout of the stacked
+            # specification — for each sizing row, corner 0's metrics
+            # first, then corner 1's, and so on.
+            flat = block.transpose(1, 0, 2).reshape(self._pending_rows.shape[0], -1)
+            self.optimizer.tell(self._pending_rows, flat)
+            self._pending_rows = None
+            return
+        # Verification of the phase winner across the full corner grid.
+        self.corner_reports = []
+        failing: List[PVTCondition] = []
+        for corner, metrics in zip(self.ranked, block[:, 0, :]):
+            ok = bool(self._single_spec.satisfied(metrics[np.newaxis, :])[0])
+            self.corner_reports.append(
+                CornerReport(
+                    condition=corner,
+                    metrics={
+                        name: float(v) for name, v in zip(self.metric_names, metrics)
+                    },
+                    satisfied=ok,
+                )
+            )
+            if not ok:
+                failing.append(corner)
+        if not failing:
+            self.solved_all = True
+            self.finished = True
+            return
+        # Fold the worst *new* failing corner into the active set (frozen
+        # dataclass identity, not the rounded display name).
+        active_set = set(self.active)
+        new_failures = [corner for corner in failing if corner not in active_set]
+        if not new_failures:
+            # The search itself could not satisfy the active set; more
+            # phases would re-run the same problem.
+            self.finished = True
+            return
+        if self.phase == self.max_phases - 1:
+            # No further phase will run, so don't report a corner that was
+            # never actually folded into a searched constraint set.
+            self.finished = True
+            return
+        self.active = self.active + [new_failures[0]]
+        self.phase += 1
+        self._state = "search"
+        self.optimizer = self._build_optimizer()
+
+    def build_result(self) -> ProgressiveResult:
+        return ProgressiveResult(
+            best_sizing=self.design_space.to_dict(self.best_vector),
+            best_vector=self.best_vector,
+            solved_all_corners=self.solved_all,
+            evaluations=self.total_evaluations,
+            corner_reports=self.corner_reports,
+            phase_results=self.phase_results,
+            active_corners=self.active,
+        )
+
+
+class Campaign:
+    """Drive one or many seeds of a sizing search over shared evaluation.
+
+    Parameters
+    ----------
+    handle:
+        The workload's :class:`EvaluationHandle` (design space, metric
+        names, corner evaluators).
+    specs:
+        Constraints that must hold at every sign-off corner.
+    corners:
+        Sign-off grid; defaults to :func:`nine_corner_grid`.
+    config:
+        A :class:`~repro.search.progressive.ProgressiveConfig` (or, legacy
+        style, the :class:`TrustRegionConfig` shared by every phase).  Its
+        ``optimizer`` field names the registered search strategy, its
+        ``corner_engine`` selects the stacked tensor pass versus the looped
+        parity oracle.
+    seeds:
+        RNG seeds, one independent progressive search each; defaults to the
+        config's seed.  All seeds share one :class:`EvaluationCache`, and
+        each lockstep round feeds the live seeds' pending batches through
+        one stacked evaluator call per distinct corner set.
+    """
+
+    def __init__(
+        self,
+        handle: EvaluationHandle,
+        specs: Sequence[Spec],
+        corners: Optional[Sequence[PVTCondition]] = None,
+        config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.handle = handle
+        self.progressive = _as_progressive_config(config, None)
+        if self.progressive.max_phases < 1:
+            raise ValueError("max_phases must be at least 1")
+        trust = self.progressive.phase_trust_region()
+        self.corners = list(corners) if corners is not None else nine_corner_grid()
+        self.ranked = rank_by_severity(self.corners)
+        self.seeds = [int(s) for s in seeds] if seeds is not None else [trust.seed]
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        if self.progressive.corner_engine == "looped":
+            # The looped engine is the parity oracle; silently substituting
+            # the stacked engine would make it vouch for itself.
+            if handle.evaluator_factory is None:
+                raise ValueError(
+                    "corner_engine='looped' needs the handle's "
+                    "evaluator_factory (the per-corner parity oracle)"
+                )
+            engine = _looped_corner_evaluator(handle.evaluator_factory, self.corners)
+        elif handle.corner_evaluator is not None:
+            engine = handle.corner_evaluator
+        elif handle.evaluator_factory is not None:
+            engine = _looped_corner_evaluator(handle.evaluator_factory, self.corners)
+        else:
+            raise ValueError(
+                "the evaluation handle provides neither a corner evaluator "
+                "nor a per-corner evaluator factory"
+            )
+        self.cache = EvaluationCache(
+            engine, handle.design_space.dimension, len(handle.metric_names)
+        )
+        self._members = [
+            _ProgressiveMember(
+                seed=seed,
+                design_space=handle.design_space,
+                specs=specs,
+                metric_names=handle.metric_names,
+                ranked=self.ranked,
+                trust_config=trust,
+                optimizer_name=self.progressive.optimizer,
+                max_phases=self.progressive.max_phases,
+            )
+            for seed in self.seeds
+        ]
+        self.rounds = 0
+
+    def run(self) -> CampaignResult:
+        """Run all seeds to completion in lockstep evaluation rounds."""
+        cache = self.cache
+        while True:
+            requests: List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]] = []
+            for member in self._members:
+                pending = member.request()
+                if pending is not None:
+                    requests.append((member, pending[0], pending[1]))
+            if not requests:
+                break
+            self.rounds += 1
+            # Requests are grouped by their exact corner set, and each
+            # group rides one stacked tensor pass.  Grouping (rather than
+            # evaluating everything at the union of all corner sets) keeps
+            # the computed (row, corner) pairs exactly what the members
+            # asked for — a seed verifying over the full grid never drags
+            # other seeds' search batches through corners they don't need.
+            # Per (row, corner) the stacked engine is bit-identical however
+            # the pass is batched, so the scatter serves exact values.
+            groups: "OrderedDict[Tuple[PVTCondition, ...], List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]]]" = (
+                OrderedDict()
+            )
+            for request in requests:
+                groups.setdefault(tuple(request[2]), []).append(request)
+            for grouped in groups.values():
+                if len(grouped) == 1:
+                    # Lone request: evaluate directly, which keeps the call
+                    # sequence (and so the cache accounting) identical to
+                    # the historical sequential loop.
+                    member, rows, corners = grouped[0]
+                    member.receive(cache.evaluate(rows, corners))
+                    continue
+                corners = grouped[0][2]
+                cache.evaluate(np.vstack([rows for _, rows, _ in grouped]), corners)
+                for member, rows, _ in grouped:
+                    member.receive(cache.evaluate(rows, corners))
+        results = []
+        single = len(self._members) == 1
+        for member in self._members:
+            result = member.build_result()
+            if single:
+                # Exactly the per-seed accounting the sequential loop
+                # reported; with several seeds sharing tensor passes the
+                # split is not seed-separable and lives on CampaignResult.
+                result.eval_seconds = cache.eval_seconds
+                result.cache_hits = cache.hits
+                result.cache_misses = cache.misses
+                result.engine_calls = cache.engine_calls
+            results.append(result)
+        return CampaignResult(
+            results=results,
+            seeds=list(self.seeds),
+            rounds=self.rounds,
+            engine_calls=cache.engine_calls,
+            eval_seconds=cache.eval_seconds,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+        )

@@ -53,6 +53,10 @@ class EvaluationCache:
     hits, misses:
         Per ``(row, corner)`` pair counters: ``hits`` were served from the
         cache, ``misses`` went to the true evaluator.
+    engine_calls:
+        Invocations of the wrapped evaluator — the multi-seed Campaign
+        batches many seeds' requests into fewer, larger calls, and this is
+        the counter that shows it.
     eval_seconds:
         Cumulative wall time inside the wrapped evaluator.
     """
@@ -70,6 +74,7 @@ class EvaluationCache:
         self._store: Dict[PVTCondition, Dict[bytes, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        self.engine_calls = 0
         self.eval_seconds = 0.0
 
     def __len__(self) -> int:
@@ -114,6 +119,7 @@ class EvaluationCache:
 
         out = np.empty((len(corners), count, self.n_metrics), dtype=np.float64)
         if fresh:
+            self.engine_calls += 1
             started = time.perf_counter()
             block = np.asarray(
                 self._evaluate(samples[fresh], corners), dtype=np.float64

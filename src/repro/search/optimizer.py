@@ -1,0 +1,528 @@
+"""The ask/tell optimizer protocol and the cheap baseline optimizers.
+
+Every search strategy in :mod:`repro.search` speaks the same minimal
+protocol, so the evaluation side (who runs the true evaluator, where the
+budget lives, whether many seeds share one vectorized corner pass) is owned
+by a *driver* — :class:`~repro.search.campaign.Campaign` — instead of being
+hard-wired into each algorithm:
+
+* :meth:`Optimizer.ask` returns the next batch of sizings to evaluate —
+  already grid-snapped, deduplicated against everything the optimizer has
+  seen, and clamped to its remaining budget;
+* :meth:`Optimizer.tell` feeds the true metrics for exactly that batch back
+  in, advancing the internal state (incumbent, surrogate, distribution,
+  trust radius, ...);
+* :attr:`Optimizer.is_done` says whether another ``ask`` would be useful;
+* :attr:`Optimizer.best` is the incumbent so far, and
+  :meth:`Optimizer.result` packs the final :class:`SearchResult`.
+
+:class:`DatasetOptimizer` is the shared machinery every concrete optimizer
+here builds on: the amortized-doubling dataset of evaluated points with
+vectorized void-view dedup, incremental scoring and incumbent tracking (the
+hot path carried over from the PR-3 trust-region overhaul), plus a
+self-driving :meth:`DatasetOptimizer.run` loop for standalone use with a
+plain batch evaluator.
+
+Two cheap baselines prove the protocol generalizes beyond Algorithm 1:
+:class:`RandomSearch` (pure Monte-Carlo) and :class:`CrossEntropySearch`
+(a (mu, lambda) cross-entropy sampler in the unit cube).  Both reuse
+:class:`~repro.search.trust_region.TrustRegionConfig` for their common knobs
+(``seed``, ``initial_samples``, ``batch_size``, ``max_evaluations``) so the
+benchmark registry can swap optimizers without a parallel config zoo.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+from repro.search.spec import Specification
+
+#: An evaluator maps a ``(count, dim)`` sizing array to ``(count, n_metrics)``.
+BatchEvaluator = Callable[[np.ndarray], np.ndarray]
+
+#: Feasibility tolerance shared with :meth:`Specification.satisfied`: a score
+#: this close to zero counts as solved, so float round-off never burns budget.
+FEASIBLE_TOL = -1e-9
+
+
+@dataclass
+class IterationRecord:
+    """One optimizer iteration, for diagnostics and tests."""
+
+    evaluations: int
+    radius: float
+    best_score: float
+    improved: bool
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one optimizer run (any strategy, not just trust-region)."""
+
+    best_sizing: Dict[str, float]
+    best_vector: np.ndarray
+    best_metrics: Dict[str, float]
+    best_score: float
+    solved: bool
+    evaluations: int
+    history: List[IterationRecord] = field(default_factory=list)
+    #: Wall time spent refitting a surrogate, for benchmark accounting
+    #: (zero for surrogate-free optimizers).
+    refit_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        status = "solved" if self.solved else "unsolved"
+        return (
+            f"SearchResult({status}, score={self.best_score:.4g}, "
+            f"evaluations={self.evaluations})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (used by the ``repro.bench`` artifacts)."""
+        return {
+            "solved": bool(self.solved),
+            "evaluations": int(self.evaluations),
+            "iterations": len(self.history),
+            "best_score": float(self.best_score),
+            "best_sizing": {k: float(v) for k, v in self.best_sizing.items()},
+            "best_metrics": {k: float(v) for k, v in self.best_metrics.items()},
+            "refit_seconds": float(self.refit_seconds),
+        }
+
+
+@dataclass(frozen=True)
+class Incumbent:
+    """The best evaluated point so far: vector, raw metrics, score."""
+
+    vector: np.ndarray
+    metrics: np.ndarray
+    score: float
+
+
+class Optimizer(ABC):
+    """The ask/tell protocol every search strategy implements.
+
+    The contract:
+
+    * ``ask()`` returns a ``(count, dim)`` array of *new* sizings — snapped
+      to the design grid, not previously evaluated by this optimizer, and
+      never exceeding the remaining evaluation budget.  An empty array means
+      the optimizer has nothing left to propose (``is_done`` is then True).
+    * ``tell(samples, metrics)`` must be called exactly once per non-empty
+      ``ask()``, with the same rows ``ask`` returned and their true metrics.
+    * ``is_done`` is True once the spec is met, the budget is exhausted, or
+      the strategy has no further proposals.
+
+    Concrete optimizers accept the shared constructor signature
+    ``(evaluator, design_space, specification, config=None,
+    initial_points=None)`` — ``evaluator`` may be ``None`` when a driver
+    (e.g. :class:`~repro.search.campaign.Campaign`) owns evaluation — so the
+    registry (:func:`get_optimizer`) can build any of them interchangeably.
+    """
+
+    design_space: DesignSpace
+    specification: Specification
+
+    @abstractmethod
+    def ask(self) -> np.ndarray:
+        """Next batch of new, grid-snapped sizings to evaluate."""
+
+    @abstractmethod
+    def tell(self, samples: np.ndarray, metrics: np.ndarray) -> None:
+        """Feed back the true metrics for the rows of the last ``ask``."""
+
+    @property
+    @abstractmethod
+    def is_done(self) -> bool:
+        """True once another ``ask`` would serve no purpose."""
+
+    @property
+    @abstractmethod
+    def best(self) -> Optional[Incumbent]:
+        """The incumbent so far (``None`` before the first ``tell``)."""
+
+    @abstractmethod
+    def result(self) -> SearchResult:
+        """Pack the final outcome of the run."""
+
+
+class DatasetOptimizer(Optimizer):
+    """Shared dataset machinery for ask/tell optimizers.
+
+    Maintains the evaluated-point dataset in amortized-doubling buffers —
+    natural-unit rows, unit-cube rows, metrics, satisfaction scores and
+    void-view dedup keys are appended in blocks, never rebuilt, and only new
+    rows are scored; the incumbent is tracked incrementally.  Dedup runs as
+    a single vectorized pass (``np.unique`` + ``np.isin`` over fixed-width
+    void views), so no proposal is ever evaluated twice.
+
+    Parameters
+    ----------
+    evaluator:
+        Batch evaluator for standalone :meth:`run` use; ``None`` when a
+        driver owns evaluation and only ``ask``/``tell`` are exercised.
+    design_space:
+        The gridded CSP domain.
+    specification:
+        The constraints to satisfy; its ``metric_names`` must match the
+        evaluator's output columns.
+    config:
+        Hyper-parameters (a
+        :class:`~repro.search.trust_region.TrustRegionConfig`); concrete
+        optimizers document which fields they read.
+    initial_points:
+        Optional extra sizings (natural units) proposed ahead of the first
+        sampled batch — used by the progressive PVT loop to warm-start later
+        phases from the best sizing of an earlier phase.
+    """
+
+    def __init__(
+        self,
+        evaluator: Optional[BatchEvaluator],
+        design_space: DesignSpace,
+        specification: Specification,
+        config=None,
+        initial_points: Optional[np.ndarray] = None,
+    ) -> None:
+        # Imported here: trust_region defines the shared config dataclass
+        # and imports this module for the protocol base classes.
+        from repro.search.trust_region import TrustRegionConfig
+
+        self.evaluator = evaluator
+        self.design_space = design_space
+        self.specification = specification
+        self.config = config or TrustRegionConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self._initial_points = (
+            np.atleast_2d(np.asarray(initial_points, dtype=np.float64))
+            if initial_points is not None
+            else None
+        )
+        dim = design_space.dimension
+        self._key_dtype = np.dtype((np.void, dim * np.dtype(np.float64).itemsize))
+        self._capacity = 0
+        self._count = 0
+        self._X = np.empty((0, dim))
+        self._U = np.empty((0, dim))
+        self._M = np.empty((0, len(specification.metric_names)))
+        self._scores = np.empty(0)
+        self._keys = np.empty(0, dtype=self._key_dtype)
+        # Index of the incumbent (earliest row attaining the best score,
+        # matching np.argmax tie-breaking on the full score array).
+        self._best = -1
+        self._history: List[IterationRecord] = []
+        self._done = False
+        #: Wall time spent in surrogate refits (stays zero for the
+        #: surrogate-free baselines).
+        self.refit_seconds: float = 0.0
+
+    # -- dataset hot path ----------------------------------------------
+    @property
+    def evaluations(self) -> int:
+        return self._count
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= self._capacity:
+            return
+        capacity = max(self._capacity, 64)
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_X", "_U", "_M", "_scores", "_keys"):
+            old = getattr(self, name)
+            shape = (capacity,) + old.shape[1:]
+            grown = np.empty(shape, dtype=old.dtype)
+            grown[: self._count] = old[: self._count]
+            setattr(self, name, grown)
+        self._capacity = capacity
+
+    def _row_keys(self, block: np.ndarray) -> np.ndarray:
+        """Fixed-width void view of each row, the vectorized dedup key."""
+        return np.ascontiguousarray(block).view(self._key_dtype).ravel()
+
+    def _select_new(
+        self, candidates: np.ndarray, limit: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Snap, dedup and clamp a candidate block; return (rows, keys).
+
+        Rows are keyed by a void view, first occurrences are kept in
+        candidate order (``np.unique`` + index sort), membership against
+        everything already evaluated is one ``np.isin`` pass, and at most
+        ``limit`` fresh rows survive.  No evaluation happens here — this is
+        the selection half of ``ask``.
+        """
+        snapped = self.design_space.snap(np.atleast_2d(candidates))
+        keys = self._row_keys(snapped)
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        if self._count:
+            first = first[~np.isin(keys[first], self._keys[: self._count])]
+        if limit is not None:
+            first = first[:limit]
+        return snapped[first], keys[first]
+
+    def _append(self, rows: np.ndarray, keys: np.ndarray, metrics: np.ndarray) -> None:
+        """Append an evaluated block, scoring and ranking only the new rows."""
+        added = rows.shape[0]
+        self._ensure_capacity(added)
+        start, stop = self._count, self._count + added
+        self._X[start:stop] = rows
+        self._U[start:stop] = self.design_space.to_unit(rows)
+        self._M[start:stop] = metrics
+        self._keys[start:stop] = keys
+        scores = self.specification.score(metrics)
+        self._scores[start:stop] = scores
+        self._count = stop
+        block_best = int(np.argmax(scores))
+        if self._best < 0 or scores[block_best] > self._scores[self._best]:
+            self._best = start + block_best
+
+    def _evaluate_new(self, candidates: np.ndarray, limit: Optional[int] = None) -> int:
+        """Select-evaluate-append in one step; returns how many rows ran.
+
+        The standalone composition of :meth:`_select_new` and
+        :meth:`_append` around the optimizer's own ``evaluator`` — the
+        building block the pre-refactor monolithic loop was written in
+        (and the parity oracle in the tests still is).
+        """
+        rows, keys = self._select_new(candidates, limit)
+        if rows.shape[0] == 0:
+            return 0
+        metrics = np.atleast_2d(np.asarray(self.evaluator(rows), dtype=np.float64))
+        self._append(rows, keys, metrics)
+        return int(rows.shape[0])
+
+    # -- protocol ------------------------------------------------------
+    @property
+    def is_done(self) -> bool:
+        return self._done
+
+    @property
+    def best(self) -> Optional[Incumbent]:
+        if self._best < 0:
+            return None
+        return Incumbent(
+            vector=self._X[self._best].copy(),
+            metrics=self._M[self._best].copy(),
+            score=float(self._scores[self._best]),
+        )
+
+    def _budget_left(self) -> int:
+        return max(int(self.config.max_evaluations) - self._count, 0)
+
+    def _update_done(self) -> None:
+        """Done once the incumbent is feasible or the budget is spent."""
+        self._done = not (
+            self._scores[self._best] < FEASIBLE_TOL
+            and self._count < self.config.max_evaluations
+        )
+
+    def _empty_batch(self) -> np.ndarray:
+        return np.empty((0, self.design_space.dimension))
+
+    def tell(self, samples: np.ndarray, metrics: np.ndarray) -> None:
+        """Default tell: append, refresh the incumbent, record history."""
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        metrics = np.atleast_2d(np.asarray(metrics, dtype=np.float64))
+        previous = self._scores[self._best] if self._best >= 0 else -np.inf
+        self._append(samples, self._row_keys(samples), metrics)
+        improved = self._scores[self._best] > previous + 1e-12
+        self._update_done()
+        self._history.append(
+            IterationRecord(
+                evaluations=self._count,
+                radius=0.0,
+                best_score=float(self._scores[self._best]),
+                improved=bool(improved),
+            )
+        )
+
+    def result(self) -> SearchResult:
+        if self._best < 0:
+            raise RuntimeError("no evaluations yet; call ask/tell (or run) first")
+        best = self._best
+        best_vector = self._X[best].copy()
+        best_metrics = self._M[best].copy()
+        return SearchResult(
+            best_sizing=self.design_space.to_dict(best_vector),
+            best_vector=best_vector,
+            best_metrics={
+                name: float(value)
+                for name, value in zip(self.specification.metric_names, best_metrics)
+            },
+            best_score=float(self._scores[best]),
+            solved=bool(self.specification.satisfied(best_metrics[np.newaxis, :])[0]),
+            evaluations=self._count,
+            history=self._history,
+            refit_seconds=self.refit_seconds,
+        )
+
+    def run(self) -> SearchResult:
+        """Self-driving ask/tell loop over the optimizer's own evaluator."""
+        if self.evaluator is None:
+            raise ValueError(
+                "this optimizer was built without an evaluator; drive it via "
+                "ask/tell (e.g. through a Campaign) or pass one at construction"
+            )
+        while not self.is_done:
+            rows = self.ask()
+            if rows.shape[0] == 0:
+                break
+            metrics = np.atleast_2d(np.asarray(self.evaluator(rows), dtype=np.float64))
+            self.tell(rows, metrics)
+        return self.result()
+
+
+class RandomSearch(DatasetOptimizer):
+    """Pure Monte-Carlo baseline: uniform sampling of the gridded space.
+
+    Reads ``seed``, ``initial_samples`` (first batch), ``batch_size`` (every
+    later batch) and ``max_evaluations`` from the shared config.  Exists to
+    calibrate how much the surrogate-guided trust region actually buys on a
+    workload — and to prove the ask/tell protocol is not shaped around
+    Algorithm 1.
+    """
+
+    #: Redraw attempts per ``ask`` when a batch fully collides with already
+    #: evaluated grid points (tiny design spaces near exhaustion).
+    MAX_REDRAWS = 8
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._asked = False
+
+    def ask(self) -> np.ndarray:
+        if self._done:
+            return self._empty_batch()
+        limit = self._budget_left()
+        for _ in range(self.MAX_REDRAWS):
+            draw = self.config.batch_size if self._asked else self.config.initial_samples
+            points = self.design_space.sample(self.rng, draw)
+            if not self._asked and self._initial_points is not None:
+                points = np.vstack([self._initial_points, points])
+            self._asked = True
+            rows, _ = self._select_new(points, limit=limit)
+            if rows.shape[0]:
+                return rows
+        self._done = True
+        return self._empty_batch()
+
+
+class CrossEntropySearch(DatasetOptimizer):
+    """(mu, lambda) cross-entropy baseline in the unit cube.
+
+    Each generation samples ``lambda = 4 * batch_size`` candidates from an
+    axis-aligned Gaussian in the unit cube, then refits the Gaussian on the
+    ``mu = batch_size`` elite (best satisfaction score) of the generation
+    with exponential smoothing.  The first generation is uniform (the same
+    Monte-Carlo seeding the trust region uses, ``initial_samples`` draws),
+    so the distribution starts where the data is.  A standard-deviation
+    floor keeps late generations exploring instead of collapsing onto a
+    point of the grid.
+    """
+
+    MAX_REDRAWS = 8
+    #: Exponential smoothing toward the elite statistics.
+    SMOOTHING = 0.7
+    #: Per-axis standard-deviation floor in unit-cube coordinates.
+    STD_FLOOR = 0.02
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._asked = False
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _draw(self) -> np.ndarray:
+        if self._mean is None:
+            return self.design_space.sample(
+                self.rng, self.config.initial_samples if not self._asked else self._lambda()
+            )
+        unit = self._mean + self._std * self.rng.standard_normal(
+            (self._lambda(), self.design_space.dimension)
+        )
+        return self.design_space.from_unit(np.clip(unit, 0.0, 1.0))
+
+    def _lambda(self) -> int:
+        return 4 * self.config.batch_size
+
+    def ask(self) -> np.ndarray:
+        if self._done:
+            return self._empty_batch()
+        limit = self._budget_left()
+        for _ in range(self.MAX_REDRAWS):
+            points = self._draw()
+            if not self._asked and self._initial_points is not None:
+                points = np.vstack([self._initial_points, points])
+            self._asked = True
+            rows, _ = self._select_new(points, limit=limit)
+            if rows.shape[0]:
+                return rows
+        self._done = True
+        return self._empty_batch()
+
+    def tell(self, samples: np.ndarray, metrics: np.ndarray) -> None:
+        start = self._count
+        super().tell(samples, metrics)
+        # Refit the sampling distribution on this generation's elite.
+        units = self._U[start: self._count]
+        scores = self._scores[start: self._count]
+        mu = min(self.config.batch_size, units.shape[0])
+        elite = units[np.argsort(-scores, kind="stable")[:mu]]
+        mean = elite.mean(axis=0)
+        std = np.maximum(elite.std(axis=0), self.STD_FLOOR)
+        if self._mean is None:
+            self._mean, self._std = mean, std
+        else:
+            alpha = self.SMOOTHING
+            self._mean = alpha * mean + (1.0 - alpha) * self._mean
+            self._std = alpha * std + (1.0 - alpha) * self._std
+
+
+# ----------------------------------------------------------------------
+# Optimizer registry (mirrors the topology registry): the benchmark
+# harness and the Campaign build optimizers by name.
+
+_OPTIMIZERS: Dict[str, Type[Optimizer]] = {}
+
+
+def register_optimizer(name: str, cls: Type[Optimizer]) -> Type[Optimizer]:
+    """Register an optimizer class under a stable name."""
+    if not name:
+        raise ValueError("optimizer name must be non-empty")
+    if name in _OPTIMIZERS and _OPTIMIZERS[name] is not cls:
+        raise ValueError(f"optimizer {name!r} already registered")
+    _OPTIMIZERS[name] = cls
+    return cls
+
+
+def available_optimizers() -> Tuple[str, ...]:
+    """Names of all registered optimizers, sorted."""
+    return tuple(sorted(_OPTIMIZERS))
+
+
+def get_optimizer(name: str) -> Type[Optimizer]:
+    """Look up an optimizer class by registry name.
+
+    Raises
+    ------
+    KeyError
+        If the optimizer is unknown; the message lists the available names.
+    """
+    try:
+        return _OPTIMIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {name!r}; available: {', '.join(available_optimizers())}"
+        ) from None
+
+
+register_optimizer("random", RandomSearch)
+register_optimizer("cross_entropy", CrossEntropySearch)
+# "trust_region" registers itself in repro.search.trust_region (which
+# imports this module for the protocol base classes).

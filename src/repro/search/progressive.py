@@ -7,15 +7,21 @@ across the full grid and fold only the corners that actually fail back into
 the active constraint set, re-searching with worst-case margins until either
 every corner passes or the phase budget runs out.
 
-The corner axis is *tensorized*: each phase's multi-corner evaluator and its
-full-grid verification are single
-:meth:`~repro.circuits.topologies.base.SizingProblem.evaluate_corners` calls
-(one NumPy broadcast over the whole corner set), routed through a cross-phase
-:class:`~repro.search.eval_cache.EvaluationCache` so warm-start points and
-repeat verifications never recompute.  ``ProgressiveConfig.corner_engine``
-selects between the ``"stacked"`` fast path and the ``"looped"`` per-corner
-parity oracle; the two are bit-identical, so the knob trades speed only,
-never trajectories.
+Since the ask/tell redesign the schedule itself lives in
+:class:`~repro.search.campaign.Campaign` (as a per-seed state machine, so
+many seeds can share vectorized evaluation rounds); this module keeps the
+configuration and result types plus :func:`progressive_pvt_search`, the
+historical entry point — now a thin compatibility layer over a single-seed
+campaign that reproduces the pre-redesign trajectories bit-exactly at a
+fixed seed/config.
+
+The corner axis stays *tensorized*: every multi-corner evaluation is a
+single :meth:`~repro.circuits.topologies.base.SizingProblem.evaluate_corners`
+call routed through a cross-phase
+:class:`~repro.search.eval_cache.EvaluationCache`.
+``ProgressiveConfig.corner_engine`` selects between the ``"stacked"`` fast
+path and the ``"looped"`` per-corner parity oracle; the two are
+bit-identical, so the knob trades speed only, never trajectories.
 """
 
 from __future__ import annotations
@@ -25,15 +31,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
+from repro.circuits.pvt import PVTCondition
 from repro.core.design_space import DesignSpace
-from repro.search.eval_cache import CornerEvaluator, EvaluationCache
+from repro.search.eval_cache import CornerEvaluator
+from repro.search.optimizer import available_optimizers
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import (
     BatchEvaluator,
     SearchResult,
     TrustRegionConfig,
-    TrustRegionSearch,
 )
 
 #: Builds a per-corner batch evaluator (e.g. a derated TwoStageOpAmp's
@@ -50,25 +56,34 @@ CORNER_ENGINES = ("stacked", "looped")
 class ProgressiveConfig:
     """Configuration of the progressive multi-corner loop.
 
-    Bundles the per-phase trust-region hyper-parameters with the knobs that
+    Bundles the per-phase optimizer hyper-parameters with the knobs that
     belong to the corner-hardening loop itself.  ``backend`` overrides the
     trust-region config's training backend when set, so callers can flip
     every phase between the fused fast path and the autodiff oracle with a
     single field.  ``corner_engine`` selects how multi-corner evaluations
     run: ``"stacked"`` (default, one broadcast over the corner grid) or
     ``"looped"`` (per-corner loop, the bit-identical parity oracle).
+    ``optimizer`` names the registered search strategy each phase runs
+    (``"trust_region"`` default; ``"random"`` and ``"cross_entropy"`` are
+    the built-in baselines).
     """
 
     trust_region: TrustRegionConfig = field(default_factory=TrustRegionConfig)
     max_phases: int = 4
     backend: Optional[str] = None
     corner_engine: str = "stacked"
+    optimizer: str = "trust_region"
 
     def __post_init__(self) -> None:
         if self.corner_engine not in CORNER_ENGINES:
             raise ValueError(
                 f"unknown corner engine {self.corner_engine!r}; "
                 f"available: {', '.join(CORNER_ENGINES)}"
+            )
+        if self.optimizer not in available_optimizers():
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"available: {', '.join(available_optimizers())}"
             )
 
     def phase_trust_region(self) -> TrustRegionConfig:
@@ -115,11 +130,16 @@ class ProgressiveResult:
     phase_results: List[SearchResult] = field(default_factory=list)
     active_corners: List[PVTCondition] = field(default_factory=list)
     #: Wall time inside the true corner evaluator, across all phases and
-    #: verifications (the ``eval_seconds`` the benchmark records).
+    #: verifications (the ``eval_seconds`` the benchmark records).  When
+    #: several campaign seeds share tensor passes this is not
+    #: seed-separable and stays zero here — see
+    #: :class:`~repro.search.campaign.CampaignResult` for the totals.
     eval_seconds: float = 0.0
     #: Cross-phase evaluation-cache counters, per ``(row, corner)`` pair.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Invocations of the wrapped corner evaluator serving this search.
+    engine_calls: int = 0
 
     def failing_corners(self) -> List[PVTCondition]:
         return [report.condition for report in self.corner_reports if not report.satisfied]
@@ -128,6 +148,27 @@ class ProgressiveResult:
     def refit_seconds(self) -> float:
         """Total surrogate-refit wall time across all phases."""
         return sum(result.refit_seconds for result in self.phase_results)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (used by the ``repro.bench`` artifacts).
+
+        ``solved`` is :attr:`solved_all_corners` (a progressive search is
+        solved only when every sign-off corner passes); per-phase details
+        are summarised to the phase count — use :attr:`phase_results` and
+        :meth:`SearchResult.to_dict` for the full per-phase story.
+        """
+        return {
+            "solved": bool(self.solved_all_corners),
+            "evaluations": int(self.evaluations),
+            "phases": len(self.phase_results),
+            "best_sizing": {k: float(v) for k, v in self.best_sizing.items()},
+            "failing_corners": [c.name for c in self.failing_corners()],
+            "refit_seconds": float(self.refit_seconds),
+            "eval_seconds": float(self.eval_seconds),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "engine_calls": int(self.engine_calls),
+        }
 
 
 def _corner_metric_names(metric_names: Sequence[str], corner: PVTCondition) -> List[str]:
@@ -179,26 +220,6 @@ def _looped_corner_evaluator(
     return evaluate
 
 
-def _phase_evaluator(
-    cache: EvaluationCache, corners: Sequence[PVTCondition]
-) -> BatchEvaluator:
-    """Adapt the cached corner tensor to the flat trust-region metric layout.
-
-    The ``(n_corners, count, n_metrics)`` block is reordered to the
-    corner-major column layout of :func:`_stacked_specification` — for each
-    sizing row, corner 0's metrics first, then corner 1's, and so on —
-    exactly the layout the historical per-corner concatenation produced.
-    """
-    corners = list(corners)
-
-    def evaluate(samples: np.ndarray) -> np.ndarray:
-        samples = np.atleast_2d(samples)
-        block = cache.evaluate(samples, corners)
-        return block.transpose(1, 0, 2).reshape(samples.shape[0], -1)
-
-    return evaluate
-
-
 def progressive_pvt_search(
     evaluator_factory: EvaluatorFactory,
     design_space: DesignSpace,
@@ -210,6 +231,12 @@ def progressive_pvt_search(
     corner_evaluator: Optional[CornerEvaluator] = None,
 ) -> ProgressiveResult:
     """Size at the hardest corner first, then harden across the grid.
+
+    Compatibility layer: builds a single-seed
+    :class:`~repro.search.campaign.Campaign` around the supplied evaluators
+    and returns its one :class:`ProgressiveResult`.  Trajectories, cache
+    accounting and corner reports are bit-exact versus the historical
+    sequential implementation at a fixed seed/config.
 
     Parameters
     ----------
@@ -234,97 +261,23 @@ def progressive_pvt_search(
         :meth:`~repro.circuits.topologies.base.SizingProblem.evaluate_corners`),
         used when the config's ``corner_engine`` is ``"stacked"``.  Must be
         bit-identical to the per-corner loop over ``evaluator_factory``.
-
-    Whichever engine runs, every evaluation is routed through a cross-phase
-    :class:`~repro.search.eval_cache.EvaluationCache`, so phase warm-starts
-    and repeat grid verifications are served from memory.
     """
+    # Imported lazily: campaign.py imports this module's config/result
+    # types, so a module-level import here would be circular.
+    from repro.search.campaign import Campaign, EvaluationHandle
+
     progressive = _as_progressive_config(config, max_phases)
-    if progressive.max_phases < 1:
-        raise ValueError("max_phases must be at least 1")
-    max_phases = progressive.max_phases
-    config = progressive.phase_trust_region()
-    corners = list(corners) if corners is not None else nine_corner_grid()
-    ranked = rank_by_severity(corners)
-    if progressive.corner_engine == "stacked" and corner_evaluator is not None:
-        engine = corner_evaluator
-    else:
-        engine = _looped_corner_evaluator(evaluator_factory, corners)
-    cache = EvaluationCache(engine, design_space.dimension, len(metric_names))
-
-    active: List[PVTCondition] = [ranked[0]]
-    total_evaluations = 0
-    phase_results: List[SearchResult] = []
-    warm_start: Optional[np.ndarray] = None
-    best_vector: Optional[np.ndarray] = None
-    corner_reports: List[CornerReport] = []
-    solved_all = False
-
-    for phase in range(max_phases):
-        specification = _stacked_specification(specs, metric_names, active)
-        evaluator = _phase_evaluator(cache, active)
-        # dataclasses.replace keeps working if the config ever gains
-        # non-init or derived fields, where reconstructing from __dict__
-        # would silently break.
-        phase_config = replace(config, seed=config.seed + phase)
-        search = TrustRegionSearch(
-            evaluator,
-            design_space,
-            specification,
-            config=phase_config,
-            initial_points=warm_start,
-        )
-        result = search.run()
-        phase_results.append(result)
-        total_evaluations += result.evaluations
-        best_vector = result.best_vector
-        warm_start = best_vector[np.newaxis, :]
-
-        # Verify the phase winner across the full corner grid: one stacked
-        # call over every corner (the active ones come straight from cache).
-        single_spec = Specification(specs, metric_names)
-        grid = cache.evaluate(best_vector[np.newaxis, :], ranked)
-        corner_reports = []
-        failing: List[PVTCondition] = []
-        for corner, metrics in zip(ranked, grid[:, 0, :]):
-            ok = bool(single_spec.satisfied(metrics[np.newaxis, :])[0])
-            corner_reports.append(
-                CornerReport(
-                    condition=corner,
-                    metrics={name: float(v) for name, v in zip(metric_names, metrics)},
-                    satisfied=ok,
-                )
-            )
-            if not ok:
-                failing.append(corner)
-
-        if not failing:
-            solved_all = True
-            break
-        # Fold the worst *new* failing corner into the active set (frozen
-        # dataclass identity, not the rounded display name).
-        active_set = set(active)
-        new_failures = [corner for corner in failing if corner not in active_set]
-        if not new_failures:
-            # The search itself could not satisfy the active set; more
-            # phases would re-run the same problem.
-            break
-        if phase == max_phases - 1:
-            # No further phase will run, so don't report a corner that was
-            # never actually folded into a searched constraint set.
-            break
-        active = active + [new_failures[0]]
-
-    design_dict = design_space.to_dict(best_vector)
-    return ProgressiveResult(
-        best_sizing=design_dict,
-        best_vector=best_vector,
-        solved_all_corners=solved_all,
-        evaluations=total_evaluations,
-        corner_reports=corner_reports,
-        phase_results=phase_results,
-        active_corners=active,
-        eval_seconds=cache.eval_seconds,
-        cache_hits=cache.hits,
-        cache_misses=cache.misses,
+    handle = EvaluationHandle(
+        design_space=design_space,
+        metric_names=tuple(metric_names),
+        corner_evaluator=corner_evaluator,
+        evaluator_factory=evaluator_factory,
     )
+    campaign = Campaign(
+        handle,
+        specs,
+        corners=corners,
+        config=progressive,
+        seeds=[progressive.phase_trust_region().seed],
+    )
+    return campaign.run().results[0]

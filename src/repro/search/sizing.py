@@ -1,8 +1,8 @@
 """Generic entry point: size any registered :class:`SizingProblem`.
 
-The trust-region agent and the progressive PVT loop are already generic over
-batch evaluators; this module closes the loop with the topology registry so
-one call sizes *any* workload in the zoo::
+The ask/tell optimizers and the Campaign driver are already generic over
+evaluation handles; this module closes the loop with the topology registry
+so one call sizes *any* workload in the zoo::
 
     from repro.search.sizing import size_problem
     result = size_problem("folded_cascode", tier="smoke", seed=0)
@@ -10,7 +10,9 @@ one call sizes *any* workload in the zoo::
 It is the layer both the opamp demo and the ``repro.bench`` harness sit on,
 which keeps their RNG behaviour identical: a benchmark run of
 ``two_stage_opamp`` at the ``nominal`` tier reproduces the historical demo
-bit-for-bit at the same seed.
+bit-for-bit at the same seed.  :func:`build_campaign` is the multi-seed
+sibling: the same problem resolution, returning the ready-to-run
+:class:`~repro.search.campaign.Campaign` instead of running one seed.
 """
 
 from __future__ import annotations
@@ -22,55 +24,125 @@ from repro.circuits.pvt import PVTCondition
 from repro.search.progressive import (
     ProgressiveConfig,
     ProgressiveResult,
-    progressive_pvt_search,
+    _as_progressive_config,
 )
 from repro.search.spec import Spec
 from repro.search.trust_region import TrustRegionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.circuits.topologies import SizingProblem
+    from repro.search.campaign import Campaign
+
+
+def _with_overrides(config, **overrides):
+    """Explicit-wins/``None``-defers override application, deduplicated.
+
+    Every keyword whose value is not ``None`` and differs from the config's
+    current field is applied in one :func:`dataclasses.replace`; when
+    nothing changes the config is returned untouched (no gratuitous copy).
+    """
+    changed = {
+        name: value
+        for name, value in overrides.items()
+        if value is not None and value != getattr(config, name)
+    }
+    return replace(config, **changed) if changed else config
 
 
 def resolve_config(
-    config: Optional[TrustRegionConfig],
-    seed: Optional[int],
+    config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
+    seed: Optional[int] = None,
     backend: Optional[str] = None,
-) -> TrustRegionConfig:
-    """Combine the ``config``/``seed``/``backend`` knobs without conflicts.
+    corner_engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
+    max_phases: Optional[int] = None,
+) -> ProgressiveConfig:
+    """Combine the config object with the scalar override knobs.
 
-    ``seed`` used to be silently ignored whenever an explicit ``config`` was
-    passed; now an explicit ``seed`` always wins (via
-    :func:`dataclasses.replace`), and ``seed=None`` means "use the config's
-    seed".  ``backend`` follows the same rule: an explicit value overrides
-    the config's training backend, ``None`` defers to it.
+    Every override follows the same rule: an explicit value always wins
+    (via :func:`dataclasses.replace`), ``None`` defers to the config.
+    ``seed`` and ``backend`` land on the per-phase
+    :class:`TrustRegionConfig`; ``corner_engine``, ``optimizer`` and
+    ``max_phases`` on the :class:`ProgressiveConfig`.  A bare
+    :class:`TrustRegionConfig` (or ``None``) is wrapped without copying, so
+    ``resolve_config(config).trust_region is config`` holds when nothing
+    changes.
     """
-    if config is None:
-        config = TrustRegionConfig(seed=0 if seed is None else seed)
-        if backend is not None:
-            config = replace(config, backend=backend)
-        return config
-    overrides = {}
-    if seed is not None and seed != config.seed:
-        overrides["seed"] = seed
-    if backend is not None and backend != config.backend:
-        overrides["backend"] = backend
-    return replace(config, **overrides) if overrides else config
+    progressive = _as_progressive_config(config, None)
+    trust = _with_overrides(progressive.trust_region, seed=seed, backend=backend)
+    return _with_overrides(
+        progressive,
+        trust_region=trust if trust is not progressive.trust_region else None,
+        corner_engine=corner_engine,
+        optimizer=optimizer,
+        max_phases=max_phases,
+    )
 
 
-def size_problem(
-    topology: Union[str, Type[SizingProblem]],
+def build_campaign(
+    topology: Union[str, Type["SizingProblem"]],
     technology: str = "bsim45",
     load_cap: float = 2e-12,
     specs: Optional[Sequence[Spec]] = None,
     tier: str = "nominal",
     corners: Optional[Sequence[PVTCondition]] = None,
-    config: Optional[TrustRegionConfig] = None,
+    config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
+    seeds: Optional[Sequence[int]] = None,
+    **overrides,
+) -> "Campaign":
+    """Resolve a topology into a ready-to-run multi-seed Campaign.
+
+    ``overrides`` are the scalar knobs of :func:`resolve_config` (``seed``,
+    ``backend``, ``corner_engine``, ``optimizer``, ``max_phases``), each
+    explicit-wins/``None``-defers against ``config``.  ``seeds`` selects
+    the campaign members (defaulting to the resolved config's seed); the
+    spec set defaults to the topology's ``default_specs()`` at ``tier``.
+    """
+    # Imported lazily: the topology modules import repro.search.spec, so a
+    # module-level import here would be circular.
+    from repro.circuits.topologies import get_topology
+    from repro.search.campaign import Campaign
+
+    problem_cls = get_topology(topology) if isinstance(topology, str) else topology
+    problem = problem_cls(technology, load_cap=load_cap)
+    if specs is None:
+        ladder = problem.default_specs()
+        try:
+            specs = ladder[tier]
+        except KeyError:
+            raise KeyError(
+                f"topology {problem.name!r} has no spec tier {tier!r}; "
+                f"available: {', '.join(sorted(ladder))}"
+            ) from None
+    progressive = resolve_config(config, **overrides)
+    return Campaign(
+        problem.evaluation_handle(),
+        specs,
+        corners=corners,
+        config=progressive,
+        seeds=seeds,
+    )
+
+
+def size_problem(
+    topology: Union[str, Type["SizingProblem"]],
+    technology: str = "bsim45",
+    load_cap: float = 2e-12,
+    specs: Optional[Sequence[Spec]] = None,
+    tier: str = "nominal",
+    corners: Optional[Sequence[PVTCondition]] = None,
+    config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
     seed: Optional[int] = None,
-    max_phases: int = 4,
+    max_phases: Optional[int] = None,
     backend: Optional[str] = None,
     corner_engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
 ) -> ProgressiveResult:
-    """Run the progressive trust-region sizing search on one topology.
+    """Run the progressive sizing search on one topology (single seed).
+
+    Compatibility layer over a single-seed
+    :class:`~repro.search.campaign.Campaign`; bit-exact versus the
+    historical sequential implementation at a fixed seed/config.
 
     Parameters
     ----------
@@ -87,10 +159,11 @@ def size_problem(
     corners:
         Sign-off corner set; defaults to the nine-corner grid.
     config, seed:
-        Trust-region hyper-parameters; an explicit ``seed`` overrides the
+        Search hyper-parameters; an explicit ``seed`` overrides the
         config's seed (see :func:`resolve_config`).
     max_phases:
-        Progressive corner-hardening round budget.
+        Progressive corner-hardening round budget; ``None`` defers to the
+        config (:class:`ProgressiveConfig` default: 4).
     backend:
         Surrogate training backend (``"fused"`` or ``"autodiff"``); an
         explicit value overrides the config's ``backend`` field.
@@ -98,39 +171,25 @@ def size_problem(
         Multi-corner evaluation engine: ``"stacked"`` (default, the whole
         corner grid as one NumPy broadcast) or ``"looped"`` (per-corner
         loop, the bit-identical parity oracle).  ``None`` defers to the
-        :class:`~repro.search.progressive.ProgressiveConfig` default.
+        config.
+    optimizer:
+        Registered search strategy each phase runs (``"trust_region"``
+        default; ``"random"``/``"cross_entropy"`` baselines).  ``None``
+        defers to the config.
     """
-    # Imported lazily: the topology modules import repro.search.spec, so a
-    # module-level import here would be circular.
-    from repro.circuits.topologies import get_topology
-
-    problem_cls = get_topology(topology) if isinstance(topology, str) else topology
-
-    def factory(condition: PVTCondition):
-        return problem_cls(technology, condition, load_cap).evaluate_batch
-
-    nominal_problem = problem_cls(technology, load_cap=load_cap)
-    if specs is None:
-        ladder = nominal_problem.default_specs()
-        try:
-            specs = ladder[tier]
-        except KeyError:
-            raise KeyError(
-                f"topology {nominal_problem.name!r} has no spec tier {tier!r}; "
-                f"available: {', '.join(sorted(ladder))}"
-            ) from None
-    progressive = ProgressiveConfig(
-        trust_region=resolve_config(config, seed, backend),
+    campaign = build_campaign(
+        topology,
+        technology=technology,
+        load_cap=load_cap,
+        specs=specs,
+        tier=tier,
+        corners=corners,
+        config=config,
+        seeds=None,
+        seed=seed,
+        backend=backend,
+        corner_engine=corner_engine,
+        optimizer=optimizer,
         max_phases=max_phases,
     )
-    if corner_engine is not None:
-        progressive = replace(progressive, corner_engine=corner_engine)
-    return progressive_pvt_search(
-        evaluator_factory=factory,
-        design_space=nominal_problem.design_space(),
-        specs=specs,
-        metric_names=nominal_problem.METRIC_NAMES,
-        corners=corners,
-        config=progressive,
-        corner_evaluator=nominal_problem.evaluate_corners,
-    )
+    return campaign.run().results[0]

@@ -14,33 +14,33 @@ The agent alternates between
 4. *radius adaptation* — the trust region expands after an improving step
    and shrinks otherwise, in the classic trust-region fashion.
 
-Every proposed point is snapped to the design grid, so the agent only ever
-evaluates legal CSP assignments, and evaluated points are deduplicated so
-the budget is never spent on a repeat.
+Since the ask/tell redesign the algorithm is expressed on the
+:class:`~repro.search.optimizer.Optimizer` protocol: :meth:`ask` runs the
+proposal side (Monte-Carlo seeding, trust-region sampling, surrogate
+ranking, grid snapping, dedup, budget clamping) and :meth:`tell` the update
+side (dataset append, surrogate refit with persistent Adam moments, radius
+adaptation).  ``run()`` is the thin self-driving loop inherited from
+:class:`~repro.search.optimizer.DatasetOptimizer`; evaluation ownership can
+equally live outside, in a :class:`~repro.search.campaign.Campaign`.  The
+split is **bit-identical** to the historical monolithic loop — same RNG
+draw order, same refit schedule, same trajectories — and is locked by the
+parity tests against the pre-refactor oracle.
 
-Hot-path design (this is the inner loop of every benchmark case):
-
-* The dataset of evaluated points lives in amortized-doubling arrays —
-  natural units, unit-cube coordinates, metrics, satisfaction scores and
-  dedup keys are all appended in blocks, never rebuilt, and only *new* rows
-  are scored.  The incumbent is tracked incrementally.
-* Dedup runs as a single vectorized pass: snapped candidate rows are viewed
-  as fixed-width void scalars, first-occurrence-filtered with ``np.unique``
-  and membership-checked against the stored key array with ``np.isin`` — no
-  per-row Python loop, no per-row ``tobytes``.
-* Candidate ranking uses ``np.argpartition`` to pull the top ``4 *
-  batch_size`` of the pool before ordering just that slice, so ranking cost
-  stays O(pool) as the pool grows.
-* The surrogate refit runs on the fused NumPy backend by default
-  (:mod:`repro.nn.fused`), which is step-for-step bit-identical to the
-  autodiff reference — switching ``backend`` never changes a trajectory.
+Hot-path notes (this is the inner loop of every benchmark case): the
+evaluated-point dataset (amortized-doubling buffers, vectorized void-view
+dedup, incremental incumbent) lives in the shared
+:class:`~repro.search.optimizer.DatasetOptimizer` base; candidate ranking
+uses ``np.argpartition`` to keep ranking cost O(pool); the surrogate refit
+runs on the fused NumPy backend by default (:mod:`repro.nn.fused`), which is
+step-for-step bit-identical to the autodiff reference — switching
+``backend`` never changes a trajectory.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -50,10 +50,24 @@ from repro.nn.modules import MLP
 from repro.nn.optim import Adam
 from repro.nn.scalers import StandardScaler
 from repro.nn.training import train_regressor
+from repro.search.optimizer import (
+    FEASIBLE_TOL,
+    BatchEvaluator,
+    DatasetOptimizer,
+    IterationRecord,
+    SearchResult,
+    register_optimizer,
+)
 from repro.search.spec import Specification
 
-#: An evaluator maps a ``(count, dim)`` sizing array to ``(count, n_metrics)``.
-BatchEvaluator = Callable[[np.ndarray], np.ndarray]
+__all__ = [
+    "BatchEvaluator",
+    "IterationRecord",
+    "SEARCH_BACKENDS",
+    "SearchResult",
+    "TrustRegionConfig",
+    "TrustRegionSearch",
+]
 
 #: Training backends the search accepts (no "auto" here: the search builds
 #: the surrogate itself, so the choice must be explicit).
@@ -62,7 +76,14 @@ SEARCH_BACKENDS = ("fused", "autodiff")
 
 @dataclass
 class TrustRegionConfig:
-    """Hyper-parameters of Algorithm 1."""
+    """Hyper-parameters of Algorithm 1 (and the shared optimizer knobs).
+
+    The baseline optimizers (:class:`~repro.search.optimizer.RandomSearch`,
+    :class:`~repro.search.optimizer.CrossEntropySearch`) reuse the common
+    subset — ``seed``, ``initial_samples``, ``batch_size``,
+    ``max_evaluations`` — so one config type drives any registered
+    optimizer.
+    """
 
     initial_samples: int = 48
     batch_size: int = 8
@@ -100,45 +121,16 @@ class TrustRegionConfig:
                 raise ValueError(f"{name} must be at least 1")
 
 
-@dataclass
-class IterationRecord:
-    """One trust-region iteration, for diagnostics and tests."""
-
-    evaluations: int
-    radius: float
-    best_score: float
-    improved: bool
-
-
-@dataclass
-class SearchResult:
-    """Outcome of a trust-region search."""
-
-    best_sizing: Dict[str, float]
-    best_vector: np.ndarray
-    best_metrics: Dict[str, float]
-    best_score: float
-    solved: bool
-    evaluations: int
-    history: List[IterationRecord] = field(default_factory=list)
-    #: Wall time spent refitting the surrogate, for benchmark accounting.
-    refit_seconds: float = 0.0
-
-    def __repr__(self) -> str:
-        status = "solved" if self.solved else "unsolved"
-        return (
-            f"SearchResult({status}, score={self.best_score:.4g}, "
-            f"evaluations={self.evaluations})"
-        )
-
-
-class TrustRegionSearch:
+class TrustRegionSearch(DatasetOptimizer):
     """Algorithm 1: surrogate-assisted trust-region CSP search.
 
     Parameters
     ----------
     evaluator:
-        Batch evaluator mapping ``(count, dim)`` sizings to metrics.
+        Batch evaluator mapping ``(count, dim)`` sizings to metrics, for
+        standalone ``run()`` use; ``None`` when a driver (e.g. a
+        :class:`~repro.search.campaign.Campaign`) owns evaluation and
+        drives the optimizer through ``ask``/``tell``.
     design_space:
         The gridded CSP domain.
     specification:
@@ -154,106 +146,28 @@ class TrustRegionSearch:
 
     def __init__(
         self,
-        evaluator: BatchEvaluator,
+        evaluator: Optional[BatchEvaluator],
         design_space: DesignSpace,
         specification: Specification,
         config: Optional[TrustRegionConfig] = None,
         initial_points: Optional[np.ndarray] = None,
     ) -> None:
-        self.evaluator = evaluator
-        self.design_space = design_space
-        self.specification = specification
-        self.config = config or TrustRegionConfig()
-        self.rng = np.random.default_rng(self.config.seed)
-        self._initial_points = (
-            np.atleast_2d(np.asarray(initial_points, dtype=np.float64))
-            if initial_points is not None
-            else None
+        super().__init__(
+            evaluator,
+            design_space,
+            specification,
+            config=config or TrustRegionConfig(),
+            initial_points=initial_points,
         )
-        # Dataset of evaluated points in amortized-doubling buffers:
-        # natural-unit rows, unit-cube rows, metric rows, satisfaction
-        # scores, and the void-view dedup keys.  ``_count`` rows are live.
-        dim = design_space.dimension
-        self._key_dtype = np.dtype((np.void, dim * np.dtype(np.float64).itemsize))
-        self._capacity = 0
-        self._count = 0
-        self._X = np.empty((0, dim))
-        self._U = np.empty((0, dim))
-        self._M = np.empty((0, len(specification.metric_names)))
-        self._scores = np.empty(0)
-        self._keys = np.empty(0, dtype=self._key_dtype)
-        # Index of the incumbent (earliest row attaining the best score,
-        # matching np.argmax tie-breaking on the full score array).
-        self._best = -1
+        # Ask/tell phase tracking: the first ask is the Monte-Carlo seed
+        # stage, the first tell processes it (initial surrogate fit).
+        self._seeded = False
+        self._iterating = False
+        self._radius = self.config.initial_radius
         # Surrogate state persists across refits (warm-started Adam).
         self._surrogate: Optional[Union[MLP, FusedMLP]] = None
         self._optimizer: Optional[Union[Adam, FusedAdam]] = None
         self._output_scaler: Optional[StandardScaler] = None
-        # Cumulative surrogate-refit wall time (the repro.bench accounting).
-        self.refit_seconds: float = 0.0
-
-    # ------------------------------------------------------------------
-    @property
-    def evaluations(self) -> int:
-        return self._count
-
-    def _ensure_capacity(self, extra: int) -> None:
-        needed = self._count + extra
-        if needed <= self._capacity:
-            return
-        capacity = max(self._capacity, 64)
-        while capacity < needed:
-            capacity *= 2
-        for name in ("_X", "_U", "_M", "_scores", "_keys"):
-            old = getattr(self, name)
-            shape = (capacity,) + old.shape[1:]
-            grown = np.empty(shape, dtype=old.dtype)
-            grown[: self._count] = old[: self._count]
-            setattr(self, name, grown)
-        self._capacity = capacity
-
-    def _row_keys(self, block: np.ndarray) -> np.ndarray:
-        """Fixed-width void view of each row, the vectorized dedup key."""
-        return np.ascontiguousarray(block).view(self._key_dtype).ravel()
-
-    def _evaluate_new(self, candidates: np.ndarray, limit: Optional[int] = None) -> int:
-        """Evaluate up to ``limit`` not-yet-seen rows; return how many.
-
-        Snapping, dedup and true evaluation all run once on the whole block:
-        rows are keyed by a void view, first occurrences are kept in
-        candidate order (``np.unique`` + index sort), and membership against
-        everything already evaluated is one ``np.isin`` pass.
-        """
-        snapped = self.design_space.snap(np.atleast_2d(candidates))
-        keys = self._row_keys(snapped)
-        _, first = np.unique(keys, return_index=True)
-        first.sort()
-        if self._count:
-            first = first[~np.isin(keys[first], self._keys[: self._count])]
-        if limit is not None:
-            first = first[:limit]
-        if first.size == 0:
-            return 0
-        block = snapped[first]
-        metrics = np.atleast_2d(np.asarray(self.evaluator(block), dtype=np.float64))
-        self._append(block, keys[first], metrics)
-        return int(first.size)
-
-    def _append(self, rows: np.ndarray, keys: np.ndarray, metrics: np.ndarray) -> None:
-        """Append an evaluated block, scoring and ranking only the new rows."""
-        added = rows.shape[0]
-        self._ensure_capacity(added)
-        start, stop = self._count, self._count + added
-        self._X[start:stop] = rows
-        self._U[start:stop] = self.design_space.to_unit(rows)
-        self._M[start:stop] = metrics
-        self._keys[start:stop] = keys
-        scores = self.specification.score(metrics)
-        self._scores[start:stop] = scores
-        self._count = stop
-        block_best = int(np.argmax(scores))
-        if self._best < 0 or scores[block_best] > self._scores[self._best]:
-            self._best = start + block_best
 
     # ------------------------------------------------------------------
     def _refit_surrogate(self, epochs: int) -> None:
@@ -322,92 +236,88 @@ class TrustRegionSearch:
         # get score-descending with worst-margin-descending tie-breaks.
         return top[np.lexsort((-worst[top], -scores[top]))][:keep]
 
-    # ------------------------------------------------------------------
-    def run(self) -> SearchResult:
-        """Run Algorithm 1 until the spec is met or the budget is spent."""
+    # -- ask/tell protocol ---------------------------------------------
+    def ask(self) -> np.ndarray:
+        """Next batch: Monte-Carlo seed first, trust-region proposals after.
+
+        Line 1-3 of Algorithm 1 on the first call (uniform exploration,
+        warm-start points placed first so they always make the cut); lines
+        5-7 afterwards (L-infinity ball around the incumbent, surrogate
+        ranking with maximin tie-breaks, duplicates replaced by the next
+        best-ranked candidates).  When the whole region is already
+        evaluated the ask falls back to Monte-Carlo exploration so the
+        budget is never wasted; an empty batch means even that is
+        exhausted.
+        """
         config = self.config
-        # Line 1-3: Monte-Carlo exploration of the full design space.  The
-        # seed stage honours the evaluation budget too (warm-start points
-        # are placed first so they always make the cut).
-        seed_points = self.design_space.sample(self.rng, config.initial_samples)
-        if self._initial_points is not None:
-            seed_points = np.vstack([self._initial_points, seed_points])
-        self._evaluate_new(seed_points, limit=config.max_evaluations)
-
-        radius = config.initial_radius
-        history: List[IterationRecord] = []
-        if self._scores[self._best] < -1e-9:
-            # Only worth fitting a surrogate when a search will actually run.
-            self._refit_surrogate(epochs=config.initial_epochs)
-
-        # Feasibility tolerance matches Specification.satisfied, so a design
-        # feasible up to float round-off stops the search instead of burning
-        # the remaining budget.
-        while self._scores[self._best] < -1e-9 and self._count < config.max_evaluations:
-            center = self._X[self._best]
-            # Line 5: sample the trust region (L-infinity ball, grid-snapped).
-            candidates = self.design_space.sample_ball(
-                self.rng, center, radius, config.candidate_pool
-            )
-            # Line 6-7: rank by predicted satisfaction score (maximin
-            # tie-breaks, argpartition top-k — see _rank_candidates) and
-            # evaluate the top few for real (drawing replacements for
-            # duplicates from the next best-ranked candidates, all in one
-            # batched call).
-            order = self._rank_candidates(candidates, keep=4 * config.batch_size)
-            previous_best_score = self._scores[self._best]
-            # The final iteration may have less budget left than a full
-            # batch; never evaluate past max_evaluations.
-            step = min(config.batch_size, config.max_evaluations - self._count)
-            added = self._evaluate_new(candidates[order], limit=step)
-            if added == 0:
-                # The whole region is already evaluated — fall back to
-                # Monte-Carlo exploration so the budget is never wasted.
-                added = self._evaluate_new(
-                    self.design_space.sample(self.rng, config.batch_size), limit=step
-                )
-                if added == 0:
-                    break
-
-            improved = self._scores[self._best] > previous_best_score + 1e-12
-            # Line 8: incremental surrogate refit with persistent moments —
-            # but only when another iteration will actually consume it.  If
-            # this batch met the spec or exhausted the budget, a refit would
-            # train a surrogate nobody ever queries (the RNG draws it would
-            # consume are equally dead, so skipping cannot shift a
-            # trajectory).
-            will_continue = (
-                self._scores[self._best] < -1e-9 and self._count < config.max_evaluations
-            )
-            if will_continue:
-                self._refit_surrogate(epochs=config.refit_epochs)
-            # Line 9-10: adapt the trust-region radius.
-            if improved:
-                radius = min(radius * config.expand, config.max_radius)
-            else:
-                radius = max(radius * config.shrink, config.min_radius)
-            history.append(
-                IterationRecord(
-                    evaluations=self._count,
-                    radius=radius,
-                    best_score=float(self._scores[self._best]),
-                    improved=bool(improved),
-                )
-            )
-
-        best = self._best
-        best_vector = self._X[best].copy()
-        best_metrics = self._M[best].copy()
-        return SearchResult(
-            best_sizing=self.design_space.to_dict(best_vector),
-            best_vector=best_vector,
-            best_metrics={
-                name: float(value)
-                for name, value in zip(self.specification.metric_names, best_metrics)
-            },
-            best_score=float(self._scores[best]),
-            solved=bool(self.specification.satisfied(best_metrics[np.newaxis, :])[0]),
-            evaluations=self._count,
-            history=history,
-            refit_seconds=self.refit_seconds,
+        if self._done:
+            return self._empty_batch()
+        if not self._seeded:
+            self._seeded = True
+            seed_points = self.design_space.sample(self.rng, config.initial_samples)
+            if self._initial_points is not None:
+                seed_points = np.vstack([self._initial_points, seed_points])
+            rows, _ = self._select_new(seed_points, limit=config.max_evaluations)
+            if rows.shape[0] == 0:
+                self._done = True
+            return rows
+        center = self._X[self._best]
+        candidates = self.design_space.sample_ball(
+            self.rng, center, self._radius, config.candidate_pool
         )
+        order = self._rank_candidates(candidates, keep=4 * config.batch_size)
+        # The final iteration may have less budget left than a full batch;
+        # never propose past max_evaluations.
+        step = min(config.batch_size, config.max_evaluations - self._count)
+        rows, _ = self._select_new(candidates[order], limit=step)
+        if rows.shape[0] == 0:
+            rows, _ = self._select_new(
+                self.design_space.sample(self.rng, config.batch_size), limit=step
+            )
+            if rows.shape[0] == 0:
+                self._done = True
+        return rows
+
+    def tell(self, samples: np.ndarray, metrics: np.ndarray) -> None:
+        """Fold evaluated metrics back in: dataset, surrogate, radius.
+
+        The first tell processes the Monte-Carlo seed (initial surrogate
+        fit, line 4); later tells run line 8-10 — incremental refit with
+        persistent Adam moments, but only when another iteration will
+        actually consume it (a refit after the deciding batch would train a
+        surrogate nobody queries, and the RNG draws it would consume are
+        equally dead, so skipping cannot shift a trajectory) — then the
+        trust-region radius update and the history record.
+        """
+        config = self.config
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        metrics = np.atleast_2d(np.asarray(metrics, dtype=np.float64))
+        previous = self._scores[self._best] if self._best >= 0 else -np.inf
+        self._append(samples, self._row_keys(samples), metrics)
+        if not self._iterating:
+            self._iterating = True
+            self._radius = config.initial_radius
+            self._update_done()
+            # Only worth fitting a surrogate when a search will actually run.
+            if self._scores[self._best] < FEASIBLE_TOL:
+                self._refit_surrogate(epochs=config.initial_epochs)
+            return
+        improved = self._scores[self._best] > previous + 1e-12
+        self._update_done()
+        if not self._done:
+            self._refit_surrogate(epochs=config.refit_epochs)
+        if improved:
+            self._radius = min(self._radius * config.expand, config.max_radius)
+        else:
+            self._radius = max(self._radius * config.shrink, config.min_radius)
+        self._history.append(
+            IterationRecord(
+                evaluations=self._count,
+                radius=self._radius,
+                best_score=float(self._scores[self._best]),
+                improved=bool(improved),
+            )
+        )
+
+
+register_optimizer("trust_region", TrustRegionSearch)

@@ -91,7 +91,15 @@ class TestRunner:
         assert tiny_result["design_dims"] == 5
         assert tiny_result["backend"] == "fused"  # the library default
         assert tiny_result["corner_engine"] == "stacked"  # the library default
+        assert tiny_result["optimizer"] == "trust_region"  # the case default
+        assert tiny_result["execution"] == "campaign"  # the runner default
         assert 0.0 <= tiny_result["success_rate"] <= 1.0
+        assert tiny_result["wall_seconds"] >= tiny_result["refit_seconds"] >= 0.0
+        assert tiny_result["wall_seconds"] >= tiny_result["eval_seconds"] >= 0.0
+        eval_block = tiny_result["eval"]
+        assert eval_block["engine_calls"] > 0
+        assert eval_block["rounds"] >= eval_block["engine_calls"]
+        assert eval_block["cache_misses"] > 0
         assert len(tiny_result["per_seed"]) == 2
         for record in tiny_result["per_seed"]:
             assert set(record) == {
@@ -99,15 +107,12 @@ class TestRunner:
                 "solved",
                 "evaluations",
                 "refit_seconds",
-                "eval_seconds",
-                "wall_seconds",
                 "phases",
                 "failing_corners",
                 "best_sizing",
             }
             assert record["evaluations"] > 0
-            assert record["wall_seconds"] >= record["refit_seconds"] >= 0.0
-            assert record["wall_seconds"] >= record["eval_seconds"] >= 0.0
+            assert record["refit_seconds"] >= 0.0
             # A solved seed has no failing corners (and vice versa the list
             # names exactly the corners that sank an unsolved one).
             if record["solved"]:
@@ -133,11 +138,13 @@ class TestRunner:
 
     def test_suite_payload_and_artifact(self, tmp_path):
         payload = run_suite("tiny", seeds=[0])
-        assert payload["schema"] == SCHEMA == "repro.bench/v3"
+        assert payload["schema"] == SCHEMA == "repro.bench/v4"
         assert payload["suite"] == "tiny"
         assert payload["seeds"] == [0]
         assert payload["backend"] == "fused"
         assert payload["corner_engine"] == "stacked"
+        assert payload["optimizer"] == "trust_region"
+        assert payload["execution"] == "campaign"
         assert payload["totals"]["cases"] == len(payload["cases"])
         path = tmp_path / "BENCH_tiny.json"
         write_bench_json(payload, str(path))
@@ -197,9 +204,20 @@ class TestCLI:
         with pytest.raises(SystemExit):
             bench_main(["--suite", "tiny", "--fail-under", "1.5"])
 
-    def test_cli_rejects_unknown_suite(self):
-        with pytest.raises(SystemExit):
-            bench_main(["--suite", "definitely_not_a_suite"])
+    def test_cli_unknown_suite_prints_listing(self, capsys):
+        """An unknown suite enumerates the registry instead of erroring."""
+        assert bench_main(["--suite", "definitely_not_a_suite"]) == 2
+        out = capsys.readouterr().out
+        assert "definitely_not_a_suite" in out
+        assert "suites:" in out and "optimizers:" in out
+        assert "trust_region" in out
+
+    def test_cli_list_flag(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("suites:", "topologies:", "spec tiers:", "optimizers:"):
+            assert needle in out
+        assert "two_stage_opamp/smoke/nominal@optimizer=random" in out
 
     def test_cli_backend_flag(self, tmp_path):
         output = tmp_path / "bench.json"
@@ -240,6 +258,74 @@ class TestCLI:
         assert stacked["best_sizing"] == looped["best_sizing"]
         assert stacked["solved"] == looped["solved"]
 
+    def test_cli_optimizer_flag(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = bench_main(
+            ["--suite", "tiny", "--seeds", "1", "--optimizer", "random",
+             "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["optimizer"] == "random"
+        assert all(case["optimizer"] == "random" for case in payload["cases"])
+        # Random search carries no surrogate: zero refit time.
+        assert payload["cases"][0]["refit_seconds"] == 0.0
+
+    def test_cli_rejects_unknown_optimizer(self):
+        with pytest.raises(SystemExit):
+            bench_main(["--suite", "tiny", "--optimizer", "simulated_annealing"])
+
+    def test_cli_execution_flag(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = bench_main(
+            ["--suite", "tiny", "--seeds", "2", "--execution", "sequential",
+             "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["execution"] == "sequential"
+        assert payload["cases"][0]["eval"]["rounds"] is None
+
+
+class TestCampaignExecution:
+    """The multi-seed campaign path: bit-exact, fewer evaluator calls."""
+
+    def test_campaign_matches_sequential_per_seed(self):
+        (case,) = get_suite("tiny")
+        campaign = run_case(case, seeds=[0, 1, 2], execution="campaign")
+        sequential = run_case(case, seeds=[0, 1, 2], execution="sequential")
+
+        def trajectory(record):
+            # Everything except refit_seconds, which is wall time (noisy).
+            return {k: v for k, v in record.items() if k != "refit_seconds"}
+
+        assert [trajectory(r) for r in campaign["per_seed"]] == [
+            trajectory(r) for r in sequential["per_seed"]
+        ]
+        assert campaign["success_rate"] == sequential["success_rate"]
+
+    def test_campaign_issues_fewer_larger_engine_calls(self):
+        (case,) = get_suite("tiny")
+        campaign = run_case(case, seeds=[0, 1, 2], execution="campaign")
+        sequential = run_case(case, seeds=[0, 1, 2], execution="sequential")
+        assert (
+            campaign["eval"]["engine_calls"] < sequential["eval"]["engine_calls"]
+        )
+        # Batching never re-evaluates: the campaign computes at most the
+        # (row, corner) pairs the sequential loop computed, plus union
+        # corners shared across seeds' requests.
+        assert campaign["eval"]["cache_misses"] >= campaign["eval"]["engine_calls"]
+
+    def test_baseline_case_in_smoke_suite(self):
+        """The smoke artifact carries a random-search baseline case."""
+        cases = get_suite("smoke")
+        baselines = [case for case in cases if case.optimizer == "random"]
+        assert len(baselines) == 1
+        record = run_case(baselines[0], seeds=[0])
+        assert record["optimizer"] == "random"
+        assert record["success_rate"] == 1.0
+        assert record["refit_seconds"] == 0.0  # no surrogate to fit
+
 
 class TestCrossCheck:
     def test_cross_check_passes_on_builtin_case(self, capsys):
@@ -257,7 +343,7 @@ class TestCrossCheck:
         """Flags the guard would silently drop must be an error instead."""
         for extra in (["--seeds", "5"], ["--output", "x.json"],
                       ["--backend", "autodiff"], ["--fail-under", "1.0"],
-                      ["--corner-engine", "looped"]):
+                      ["--corner-engine", "looped"], ["--optimizer", "random"]):
             with pytest.raises(SystemExit):
                 bench_main(["--cross-check", "--suite", "tiny"] + extra)
 

@@ -182,35 +182,71 @@ class TestOpampSizingEndToEnd:
 
 
 class TestResolveConfig:
-    """`seed` used to be silently ignored when a config was passed."""
+    """Every knob: explicit wins, ``None`` defers, no gratuitous copies."""
 
     def test_explicit_seed_overrides_config(self):
         from repro.search.sizing import resolve_config
 
         config = TrustRegionConfig(seed=3, max_evaluations=123)
         resolved = resolve_config(config, seed=9)
-        assert resolved.seed == 9
-        assert resolved.max_evaluations == 123  # everything else preserved
+        assert resolved.trust_region.seed == 9
+        assert resolved.trust_region.max_evaluations == 123  # else preserved
         assert config.seed == 3  # original untouched
 
     def test_none_seed_defers_to_config(self):
         from repro.search.sizing import resolve_config
 
         config = TrustRegionConfig(seed=3)
-        assert resolve_config(config, seed=None) is config
-        assert resolve_config(None, seed=None).seed == 0
-        assert resolve_config(None, seed=5).seed == 5
+        assert resolve_config(config, seed=None).trust_region is config
+        assert resolve_config(None, seed=None).trust_region.seed == 0
+        assert resolve_config(None, seed=5).trust_region.seed == 5
 
     def test_backend_override(self):
         from repro.search.sizing import resolve_config
 
         config = TrustRegionConfig(seed=3)
         resolved = resolve_config(config, seed=None, backend="autodiff")
-        assert resolved.backend == "autodiff"
-        assert resolved.seed == 3
+        assert resolved.trust_region.backend == "autodiff"
+        assert resolved.trust_region.seed == 3
         assert config.backend == "fused"  # original untouched
-        assert resolve_config(config, seed=None, backend="fused") is config
-        assert resolve_config(None, seed=None, backend="autodiff").backend == "autodiff"
+        assert resolve_config(config, seed=None, backend="fused").trust_region is config
+        assert (
+            resolve_config(None, backend="autodiff").trust_region.backend == "autodiff"
+        )
+
+    def test_corner_engine_override(self):
+        from repro.search import ProgressiveConfig
+        from repro.search.sizing import resolve_config
+
+        progressive = ProgressiveConfig()
+        resolved = resolve_config(progressive, corner_engine="looped")
+        assert resolved.corner_engine == "looped"
+        assert progressive.corner_engine == "stacked"  # original untouched
+        # None defers; a matching explicit value is not a copy.
+        assert resolve_config(progressive, corner_engine=None) is progressive
+        assert resolve_config(progressive, corner_engine="stacked") is progressive
+
+    def test_optimizer_and_max_phases_overrides(self):
+        from repro.search import ProgressiveConfig
+        from repro.search.sizing import resolve_config
+
+        resolved = resolve_config(None, optimizer="random", max_phases=2)
+        assert resolved.optimizer == "random"
+        assert resolved.max_phases == 2
+        progressive = ProgressiveConfig(optimizer="cross_entropy", max_phases=3)
+        kept = resolve_config(progressive)
+        assert kept is progressive
+
+    def test_progressive_config_passthrough_keeps_trust_region(self):
+        from repro.search import ProgressiveConfig
+        from repro.search.sizing import resolve_config
+
+        trust = TrustRegionConfig(seed=7)
+        progressive = ProgressiveConfig(trust_region=trust)
+        resolved = resolve_config(progressive, seed=8, corner_engine="looped")
+        assert resolved.trust_region.seed == 8
+        assert resolved.corner_engine == "looped"
+        assert trust.seed == 7 and progressive.trust_region is trust
 
 
 class TestDatasetHotPath:
