@@ -1,0 +1,133 @@
+"""CLI for the analysis subsystem.
+
+Subcommands::
+
+    python -m repro.analysis lint [PATHS...] [--select rule-a,rule-b]
+    python -m repro.analysis determinism [--suite tiny] [--seeds N] [...]
+    python -m repro.analysis rules
+
+``lint`` exits 1 on any finding, ``determinism`` exits 1 on any
+fingerprint mismatch — both are wired as the CI ``analysis`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.analysis.engine import AnalysisConfig, lint_paths
+from repro.analysis.rules import available_rules, get_rule
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    config = AnalysisConfig()
+    if args.select:
+        selected = tuple(
+            token.strip() for token in args.select.split(",") if token.strip()
+        )
+        for rule_id in selected:
+            get_rule(rule_id)  # fail fast with the available-rules message
+        config = replace(config, select=selected)
+    findings = lint_paths(args.paths, config)
+    for finding in findings:
+        print(finding.format())
+    plural = "" if len(findings) == 1 else "s"
+    print(f"{len(findings)} finding{plural} in {', '.join(args.paths)}")
+    return 1 if findings else 0
+
+
+def _cmd_determinism(args: argparse.Namespace) -> int:
+    # Imported lazily: linting must work even where the search stack's
+    # dependencies are unavailable.
+    from repro.analysis.determinism import audit_suite
+
+    report = audit_suite(
+        suite=args.suite,
+        seeds=range(args.seeds),
+        backend=args.backend,
+        corner_engine=args.corner_engine,
+        optimizer=args.optimizer,
+        with_contracts=not args.no_contracts,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    for rule_id in available_rules():
+        print(f"{rule_id:24s} {get_rule(rule_id).summary}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis, runtime contracts and "
+        "determinism auditing.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the AST lint rules over source files/trees"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all; see 'rules')",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    determinism = subparsers.add_parser(
+        "determinism",
+        help="run each case of a bench suite twice in-process and "
+        "byte-diff trajectories, metrics and cache content",
+    )
+    determinism.add_argument(
+        "--suite", default="tiny", help="bench suite to audit (default: tiny)"
+    )
+    determinism.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="number of seeds (0..N-1) per case (default: 3)",
+    )
+    determinism.add_argument(
+        "--backend",
+        default=None,
+        choices=("fused", "autodiff"),
+        help="surrogate training backend override",
+    )
+    determinism.add_argument(
+        "--corner-engine",
+        default=None,
+        choices=("stacked", "looped"),
+        help="multi-corner evaluation engine override",
+    )
+    determinism.add_argument(
+        "--optimizer",
+        default=None,
+        help="search-strategy override for every case",
+    )
+    determinism.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="audit without enabling the runtime invariant contracts "
+        "(default: contracts on, so violations fault loudly)",
+    )
+    determinism.set_defaults(func=_cmd_determinism)
+
+    rules = subparsers.add_parser("rules", help="list the registered lint rules")
+    rules.set_defaults(func=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,253 @@
+"""Runtime invariant contracts for the tensor-engine entry points.
+
+The stacked corner engine, the evaluation cache and the multi-seed Campaign
+all rest on a handful of array contracts — ``evaluate_corners`` returns
+``(n_corners, count, n_metrics)``, a stacked technology card carries
+``(n_corners, 1)`` columns, a cache hit is bit-identical to a recompute —
+that nothing enforced at runtime.  :func:`contract` is the enforcement
+point: a decorator that, **only** when contracts are enabled, binds the
+call, validates declared shape/dtype specs (with symbolic dimensions that
+must agree across arguments and return value), temporarily freezes selected
+input arrays (``writeable=False``) so an in-place mutation faults at the
+mutation site instead of corrupting shared state three calls later, and
+runs custom pre/post condition hooks.
+
+Contracts are **off by default and free when off**: the wrapper's disabled
+path is a single flag test before delegating, and none of the decorated
+entry points sit inside per-row loops — so BENCH numbers are unchanged.
+Enable with the ``REPRO_CONTRACTS=1`` environment variable, or in-process
+with :func:`set_contracts` / the :func:`contracts` context manager (what
+the determinism auditor and the contract tests use).
+
+:func:`hot_path` is a zero-runtime marker consumed by the ``hot-loop-alloc``
+lint rule: functions carrying it may not allocate arrays inside ``for`` /
+``while`` bodies.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant contract did not hold."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CONTRACTS", "0").strip().lower() not in ("", "0", "false", "no")
+
+
+_ENABLED = _env_enabled()
+
+
+def contracts_enabled() -> bool:
+    """Whether :func:`contract`-decorated entry points are checking."""
+    return _ENABLED
+
+
+def set_contracts(enabled: bool) -> bool:
+    """Turn contract checking on or off; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def contracts(enabled: bool = True) -> Iterator[None]:
+    """Context manager scoping contract checking (restores prior state)."""
+    previous = set_contracts(enabled)
+    try:
+        yield
+    finally:
+        set_contracts(previous)
+
+
+def hot_path(fn: Callable) -> Callable:
+    """Mark ``fn`` allocation-sensitive for the ``hot-loop-alloc`` lint rule.
+
+    Purely a static marker — the function is returned unchanged, and the
+    lint engine matches the decorator by name in the AST.
+    """
+    fn.__hot_path__ = True
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Shape/dtype specs
+
+#: One axis of an :class:`ArraySpec`: an exact size, a symbolic name that
+#: must agree wherever it reappears in the same call, or ``None`` (any).
+Dim = Union[int, str, None]
+
+
+def _bind(bindings: Dict[str, int], symbol: str, value: int, where: str) -> None:
+    known = bindings.setdefault(symbol, value)
+    if known != value:
+        raise ContractViolation(
+            f"{where}: dimension {symbol!r} is {value} here but {known} elsewhere in the call"
+        )
+
+
+class ArraySpec:
+    """Shape/dtype contract for one array argument or return value.
+
+    ``ArraySpec("c", "n", None)`` accepts any 3-D float64 array whose
+    leading two axes agree with every other use of the symbols ``"c"`` /
+    ``"n"`` in the same call (e.g. ``len(corners)`` bound by a
+    :class:`SeqLen`).  Pass ``dtype=None`` to skip the dtype check.
+    """
+
+    def __init__(self, *dims: Dim, dtype: Optional[Any] = np.float64) -> None:
+        self.dims: Tuple[Dim, ...] = dims
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+
+    def __repr__(self) -> str:
+        return f"ArraySpec({', '.join(map(repr, self.dims))}, dtype={self.dtype})"
+
+    def validate(self, where: str, value: Any, bindings: Dict[str, int]) -> None:
+        if not isinstance(value, np.ndarray):
+            raise ContractViolation(
+                f"{where}: expected an ndarray, got {type(value).__name__}"
+            )
+        if self.dtype is not None and value.dtype != self.dtype:
+            raise ContractViolation(
+                f"{where}: expected dtype {self.dtype}, got {value.dtype}"
+            )
+        if value.ndim != len(self.dims):
+            raise ContractViolation(
+                f"{where}: expected {len(self.dims)} axes, got shape {value.shape}"
+            )
+        for axis, dim in enumerate(self.dims):
+            if dim is None:
+                continue
+            size = value.shape[axis]
+            if isinstance(dim, str):
+                _bind(bindings, dim, size, f"{where} axis {axis}")
+            elif size != dim:
+                raise ContractViolation(
+                    f"{where}: axis {axis} has size {size}, expected {dim}"
+                )
+
+
+class SeqLen:
+    """Binds the length of a sized argument (e.g. a corner list) to a symbol."""
+
+    def __init__(self, symbol: str) -> None:
+        self.symbol = symbol
+
+    def __repr__(self) -> str:
+        return f"SeqLen({self.symbol!r})"
+
+    def validate(self, where: str, value: Any, bindings: Dict[str, int]) -> None:
+        try:
+            length = len(value)
+        except TypeError:
+            raise ContractViolation(
+                f"{where}: expected a sized sequence, got {type(value).__name__}"
+            ) from None
+        _bind(bindings, self.symbol, length, where)
+
+
+# ----------------------------------------------------------------------
+# The decorator
+
+#: Custom condition hooks: receive the bound arguments (by parameter name,
+#: including ``self`` for methods) and — for post-conditions — the return
+#: value; return an error message to fail the contract, or ``None``.
+PreCheck = Callable[[Mapping[str, Any]], Optional[str]]
+PostCheck = Callable[[Mapping[str, Any], Any], Optional[str]]
+
+
+def contract(
+    *,
+    args: Optional[Mapping[str, Union[ArraySpec, SeqLen]]] = None,
+    returns: Optional[ArraySpec] = None,
+    frozen: Sequence[str] = (),
+    freeze_result: bool = False,
+    pre: Optional[PreCheck] = None,
+    check: Optional[PostCheck] = None,
+) -> Callable[[Callable], Callable]:
+    """Declare runtime invariants for one tensor-engine entry point.
+
+    Parameters
+    ----------
+    args:
+        Per-parameter :class:`ArraySpec` / :class:`SeqLen` specs, validated
+        before the call with one shared symbolic-dimension binding table.
+    returns:
+        :class:`ArraySpec` for the return value, validated against the same
+        bindings — so ``corners=SeqLen("c")`` + ``returns=ArraySpec("c",
+        None, None)`` asserts the result's leading axis is the corner count.
+    frozen:
+        Parameter names whose ndarray values are made read-only for the
+        duration of the call (original writeability restored afterwards):
+        any in-place mutation inside raises at the exact faulting line.
+    freeze_result:
+        Mark a returned ndarray read-only, so downstream aliasing mutations
+        fault instead of silently corrupting shared/cached state.
+    pre, check:
+        Custom condition hooks run before / after the call; they return an
+        error message (contract fails) or ``None``.
+
+    When contracts are disabled the wrapper is a single flag test plus the
+    delegated call — no signature binding, no validation.
+    """
+    specs = dict(args or {})
+    frozen = tuple(frozen)
+
+    def decorate(fn: Callable) -> Callable:
+        signature = inspect.signature(fn)
+        where = f"{fn.__module__}.{fn.__qualname__}"
+        unknown = [name for name in list(specs) + list(frozen) if name not in signature.parameters]
+        if unknown:
+            raise TypeError(
+                f"contract on {where} names unknown parameters: {', '.join(unknown)}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*call_args, **call_kwargs):
+            if not _ENABLED:
+                return fn(*call_args, **call_kwargs)
+            bound = signature.bind(*call_args, **call_kwargs)
+            bound.apply_defaults()
+            arguments = bound.arguments
+            bindings: Dict[str, int] = {}
+            for name, spec in specs.items():
+                spec.validate(f"{where} argument {name!r}", arguments[name], bindings)
+            if pre is not None:
+                message = pre(arguments)
+                if message:
+                    raise ContractViolation(f"{where}: {message}")
+            thawed = []
+            for name in frozen:
+                value = arguments.get(name)
+                if isinstance(value, np.ndarray) and value.flags.writeable:
+                    value.flags.writeable = False
+                    thawed.append(value)
+            try:
+                result = fn(*call_args, **call_kwargs)
+            finally:
+                for array in thawed:
+                    array.flags.writeable = True
+            if returns is not None:
+                returns.validate(f"{where} return value", result, bindings)
+            if check is not None:
+                message = check(arguments, result)
+                if message:
+                    raise ContractViolation(f"{where}: {message}")
+            if freeze_result and isinstance(result, np.ndarray):
+                result.flags.writeable = False
+            return result
+
+        wrapper.__contract__ = True
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

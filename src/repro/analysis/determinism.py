@@ -1,0 +1,188 @@
+"""Determinism auditor: double-run bench cases and byte-diff everything.
+
+Four PRs in a row shipped hand-written "bit-identical trajectory" locks;
+this module turns them into one reusable gate.  For every case of a bench
+suite the auditor builds the same multi-seed
+:class:`~repro.search.campaign.Campaign` the benchmark harness runs, runs
+it **twice in-process**, and compares byte-level fingerprints of everything
+except wall time: the per-seed trajectories (winning sizing, evaluation
+counts, phase counts, failing corners, the raw ``best_vector`` bytes), the
+campaign's evaluation accounting (rounds, engine calls, cache hits/misses),
+and a digest of the full :class:`~repro.search.eval_cache.EvaluationCache`
+content — every ``(corner, row-key, metric-row)`` triple, bit for bit.
+
+Any nondeterminism anywhere in the stack — an unseeded RNG, dict-ordering
+dependence, an uninitialised buffer read, a mutated cached array — shows up
+as a fingerprint mismatch.  Contracts (``repro.analysis.contracts``) are
+enabled for the audited runs by default, so shape violations and aliasing
+mutations fault loudly instead of corrupting the comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.contracts import contracts
+
+#: ``ProgressiveResult.to_dict`` keys that measure wall time, not behaviour.
+_TIMING_FIELDS = ("refit_seconds", "eval_seconds", "wall_seconds")
+
+
+def _case_fingerprint(
+    case: Any,
+    seeds: Sequence[int],
+    backend: Optional[str],
+    corner_engine: Optional[str],
+    optimizer: Optional[str],
+) -> Dict[str, Any]:
+    """Run one bench case once; everything deterministic, nothing timed."""
+    from repro.search.sizing import build_campaign
+
+    campaign = build_campaign(
+        case.topology,
+        technology=case.technology,
+        load_cap=case.load_cap,
+        tier=case.tier,
+        corners=case.corners(),
+        config=case.config(seeds[0]),
+        seeds=list(seeds),
+        backend=backend,
+        corner_engine=corner_engine,
+        optimizer=optimizer if optimizer is not None else case.optimizer,
+        max_phases=case.max_phases,
+    )
+    outcome = campaign.run()
+    per_seed: List[Dict[str, Any]] = []
+    for seed, result in zip(seeds, outcome.results):
+        record = result.to_dict()
+        for field in _TIMING_FIELDS:
+            record.pop(field, None)
+        record["seed"] = int(seed)
+        record["best_vector_sha256"] = hashlib.sha256(
+            result.best_vector.tobytes()
+        ).hexdigest()
+        per_seed.append(record)
+    return {
+        "per_seed": per_seed,
+        "rounds": outcome.rounds,
+        "engine_calls": outcome.engine_calls,
+        "cache_hits": outcome.cache_hits,
+        "cache_misses": outcome.cache_misses,
+        "cache_sha256": campaign.cache.state_digest(),
+    }
+
+
+def _first_divergence(first: Any, second: Any, path: str = "$") -> str:
+    """Human-readable pointer to the first differing leaf of two payloads."""
+    if type(first) is not type(second):
+        return f"{path}: type {type(first).__name__} vs {type(second).__name__}"
+    if isinstance(first, dict):
+        for key in first:
+            if key not in second:
+                return f"{path}.{key}: missing in second run"
+            if first[key] != second[key]:
+                return _first_divergence(first[key], second[key], f"{path}.{key}")
+        return f"{path}: second run has extra keys"
+    if isinstance(first, list):
+        if len(first) != len(second):
+            return f"{path}: length {len(first)} vs {len(second)}"
+        for index, (a, b) in enumerate(zip(first, second)):
+            if a != b:
+                return _first_divergence(a, b, f"{path}[{index}]")
+    return f"{path}: {first!r} vs {second!r}"
+
+
+@dataclass(frozen=True)
+class CaseAudit:
+    """Double-run comparison of one bench case."""
+
+    name: str
+    identical: bool
+    fingerprint_sha256: str
+    #: Pointer to the first differing field when the runs diverged.
+    divergence: Optional[str] = None
+
+    def format(self) -> str:
+        status = "OK  " if self.identical else "DIFF"
+        line = f"{status} {self.name}  fingerprint {self.fingerprint_sha256[:16]}"
+        if self.divergence:
+            line += f"\n     first divergence: {self.divergence}"
+        return line
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of a suite-level determinism audit."""
+
+    suite: str
+    seeds: Tuple[int, ...]
+    cases: Tuple[CaseAudit, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(case.identical for case in self.cases)
+
+    def format(self) -> str:
+        lines = [
+            f"determinism audit: suite {self.suite!r}, seeds {list(self.seeds)}, "
+            f"double-run byte-diff"
+        ]
+        lines.extend(case.format() for case in self.cases)
+        verdict = "all runs byte-identical" if self.ok else "NONDETERMINISM DETECTED"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def audit_case(
+    case: Any,
+    seeds: Sequence[int],
+    backend: Optional[str] = None,
+    corner_engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
+    with_contracts: bool = True,
+) -> CaseAudit:
+    """Run one case twice in-process and byte-compare the fingerprints."""
+    seeds = [int(seed) for seed in seeds]
+    with contracts(with_contracts):
+        first = _case_fingerprint(case, seeds, backend, corner_engine, optimizer)
+        second = _case_fingerprint(case, seeds, backend, corner_engine, optimizer)
+    first_bytes = json.dumps(first, sort_keys=True).encode("utf-8")
+    second_bytes = json.dumps(second, sort_keys=True).encode("utf-8")
+    identical = first_bytes == second_bytes
+    return CaseAudit(
+        name=case.name,
+        identical=identical,
+        fingerprint_sha256=hashlib.sha256(first_bytes).hexdigest(),
+        divergence=None if identical else _first_divergence(first, second),
+    )
+
+
+def audit_suite(
+    suite: str = "tiny",
+    seeds: Sequence[int] = (0, 1, 2),
+    backend: Optional[str] = None,
+    corner_engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
+    with_contracts: bool = True,
+) -> AuditReport:
+    """Audit every case of a bench suite; see :class:`AuditReport`."""
+    from repro.bench.registry import get_suite
+
+    return AuditReport(
+        suite=suite,
+        seeds=tuple(int(seed) for seed in seeds),
+        cases=tuple(
+            audit_case(
+                case,
+                seeds,
+                backend=backend,
+                corner_engine=corner_engine,
+                optimizer=optimizer,
+                with_contracts=with_contracts,
+            )
+            for case in get_suite(suite)
+        ),
+    )

@@ -1,0 +1,509 @@
+"""The repo-specific lint rules and their registry.
+
+Each rule encodes one invariant the reproduction's correctness story leans
+on (see the rule docstrings for the rationale).  Rules are plain classes
+walking a parsed module's AST and yielding :class:`Finding`\\ s; they
+register themselves with :func:`register_rule`, mirroring the optimizer and
+topology registries, so third-party checks plug in the same way::
+
+    from repro.analysis import LintRule, register_rule
+
+    @register_rule
+    class MyRule(LintRule):
+        id = "my-rule"
+        summary = "one-line rationale"
+        def check(self, module): ...
+
+Findings are suppressed per line with a pragma comment —
+``# analysis: allow(rule-id)`` on the offending line (or the line above) —
+so intentional exceptions stay visible and greppable in the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleSource
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation: rule id, location, human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class LintRule:
+    """Base class: subclasses set ``id``/``summary`` and implement ``check``."""
+
+    #: Stable rule identifier used in CLI output, ``--select`` and pragmas.
+    id: str = ""
+    #: One-line rationale shown by ``python -m repro.analysis rules``.
+    summary: str = ""
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, module: "ModuleSource", node: ast.AST, message: str) -> Finding:
+        return Finding(self.id, module.path, getattr(node, "lineno", 0), message)
+
+
+# ----------------------------------------------------------------------
+# Rule registry (mirrors the optimizer/topology registries).
+
+_RULES: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} must set a non-empty 'id'")
+    if cls.id in _RULES and _RULES[cls.id] is not cls:
+        raise ValueError(f"lint rule {cls.id!r} already registered")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def available_rules() -> Tuple[str, ...]:
+    """Ids of all registered rules, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Type[LintRule]:
+    """Look up a rule class by id; the error lists the available ids."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; available: {', '.join(available_rules())}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the rules.
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _walk_within(node: ast.AST, stop: Tuple[type, ...]) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested ``stop`` scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, stop):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _class_is_stacked(node: ast.ClassDef) -> bool:
+    """Whether the class body sets ``supports_stacked_corners = True``."""
+    for stmt in node.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "supports_stacked_corners"
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# The rules.
+
+
+@register_rule
+class UnseededRngRule(LintRule):
+    """No RNG may draw from hidden or OS-seeded state outside tests.
+
+    ``np.random.default_rng()`` without arguments seeds itself from OS
+    entropy, and the legacy ``np.random.*`` functions draw from the hidden
+    process-global generator — either one anywhere in a search/training
+    code path silently breaks the bit-exact trajectory locks every backend
+    and engine knob is verified against.
+    """
+
+    id = "unseeded-rng"
+    summary = "unseeded default_rng() or legacy global np.random.* outside tests"
+
+    LEGACY = frozenset(
+        {
+            "rand",
+            "randn",
+            "random",
+            "random_sample",
+            "standard_normal",
+            "normal",
+            "uniform",
+            "randint",
+            "integers",
+            "choice",
+            "permutation",
+            "shuffle",
+            "seed",
+        }
+    )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "default_rng() without an explicit seed/Generator is "
+                    "nondeterministic (seeds from OS entropy); pass a seed or "
+                    "thread an rng through",
+                )
+            elif (
+                len(parts) >= 3
+                and parts[0] in ("np", "numpy")
+                and parts[-2] == "random"
+                and parts[-1] in self.LEGACY
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy np.random.{parts[-1]} draws from hidden process-global "
+                    "state; use an explicit np.random.Generator",
+                )
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """No ``==`` / ``!=`` against float values in library code.
+
+    The engine-parity and cache stories are *bit*-exact: identity is keyed
+    on byte patterns (``tobytes`` / void views / ``np.array_equal``), never
+    on float comparison semantics, where a NaN-bearing row or a negative
+    zero makes ``==`` lie about identity.
+    """
+
+    id = "float-equality"
+    summary = "== / != on float-typed expressions (use np.array_equal/tobytes keys)"
+
+    FLOAT_CALLS = frozenset({"float", "np.float64", "numpy.float64"})
+
+    def _is_floaty(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floaty(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._is_floaty(node.left) or self._is_floaty(node.right)
+        if isinstance(node, ast.Call):
+            return (dotted_name(node.func) or "") in self.FLOAT_CALLS
+        return False
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            if any(self._is_floaty(operand) for operand in [node.left] + node.comparators):
+                yield self.finding(
+                    module,
+                    node,
+                    "float equality comparison; bit-exact identity uses "
+                    "np.array_equal or tobytes keys, tolerances use margins",
+                )
+
+
+@register_rule
+class HotLoopAllocRule(LintRule):
+    """No array allocation inside ``for``/``while`` bodies on hot paths.
+
+    The fused backend, the evaluation cache and the Campaign round loop are
+    deliberately allocation-free in their inner loops (scratch buffers,
+    ``out=`` rewrites, single stacked passes); a stray ``np.zeros`` or
+    ``astype`` inside one of those loops reintroduces per-iteration heap
+    traffic that the PR-3/PR-4 overhauls measured and removed.  Applies to
+    functions marked ``@hot_path``, to every function in the configured
+    hot-module list, and to the stacked-engine hook names wherever they are
+    defined.  Calls passing ``out=`` are exempt (they write into reused
+    buffers); intentional one-time allocations take a pragma.
+    """
+
+    id = "hot-loop-alloc"
+    summary = "array-allocating call inside a loop body of a hot-path function"
+
+    ALLOC_FUNCS = frozenset(
+        {
+            "array",
+            "asarray",
+            "ascontiguousarray",
+            "asfortranarray",
+            "atleast_1d",
+            "atleast_2d",
+            "column_stack",
+            "concatenate",
+            "copy",
+            "empty",
+            "empty_like",
+            "full",
+            "full_like",
+            "hstack",
+            "linspace",
+            "ones",
+            "ones_like",
+            "repeat",
+            "stack",
+            "tile",
+            "vstack",
+            "zeros",
+            "zeros_like",
+        }
+    )
+    ALLOC_METHODS = frozenset({"astype", "copy"})
+
+    def _is_hot_function(self, module: "ModuleSource", node: ast.FunctionDef) -> bool:
+        if module.is_hot_module or node.name in module.config.hot_functions:
+            return True
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = dotted_name(target)
+            if name is not None and name.split(".")[-1] == "hot_path":
+                return True
+        return False
+
+    def _alloc_calls(self, loop: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+        scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        for node in _walk_within(loop, scopes):
+            if not isinstance(node, ast.Call):
+                continue
+            if any(keyword.arg == "out" for keyword in node.keywords):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[0] in ("np", "numpy") and parts[-1] in self.ALLOC_FUNCS:
+                yield node, name
+            elif len(parts) > 1 and parts[0] not in ("np", "numpy") and parts[-1] in self.ALLOC_METHODS:
+                yield node, name
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test:
+            return
+        scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        for function in _function_defs(module.tree):
+            if not self._is_hot_function(module, function):
+                continue
+            # A call nested in several loops is still one finding.
+            seen: Set[int] = set()
+            for node in _walk_within(function, scopes):
+                if not isinstance(node, (ast.For, ast.While)):
+                    continue
+                for call, name in self._alloc_calls(node):
+                    if id(call) in seen:
+                        continue
+                    seen.add(id(call))
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{name}(...) allocates inside a loop of hot-path "
+                        f"function {function.name!r}; hoist into a reused "
+                        "buffer or pass out=",
+                    )
+
+
+@register_rule
+class CornerPythonLoopRule(LintRule):
+    """No Python-level iteration over the corner axis in stacked topologies.
+
+    A topology that sets ``supports_stacked_corners = True`` promises that
+    the PVT grid rides a single NumPy broadcast; a ``for corner in
+    corners`` anywhere in such a class silently reintroduces the per-corner
+    Python loop the tensorized engine exists to remove — and its cost scales
+    with the corner count (45x on the full grid).  The ``*_looped`` parity
+    oracles are exempt by naming convention.
+    """
+
+    id = "corner-python-loop"
+    summary = "Python loop over a corners axis inside a stacked-corner topology"
+
+    CORNER_NAMES = ("corners", "corner_grid")
+
+    def _is_corner_iterable(self, node: ast.expr) -> bool:
+        name = dotted_name(node)
+        if name is None:
+            return False
+        tail = name.split(".")[-1]
+        return tail in self.CORNER_NAMES or tail.endswith("_corners")
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef) or not _class_is_stacked(cls):
+                continue
+            for function in cls.body:
+                if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if "looped" in function.name:
+                    continue
+                for node in _walk_within(function, (ast.ClassDef,)):
+                    iterables: List[ast.expr] = []
+                    if isinstance(node, ast.For):
+                        iterables.append(node.iter)
+                    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                        iterables.extend(gen.iter for gen in node.generators)
+                    for iterable in iterables:
+                        if self._is_corner_iterable(iterable):
+                            yield self.finding(
+                                module,
+                                node,
+                                f"Python iteration over corners in {function.name!r} "
+                                "of a supports_stacked_corners topology; the corner "
+                                "grid must ride the stacked tensor axis",
+                            )
+
+
+@register_rule
+class NakedExceptRule(LintRule):
+    """No bare ``except:`` — it swallows everything, including exit signals.
+
+    A bare handler catches ``KeyboardInterrupt``/``SystemExit`` and masks
+    contract violations and shape errors as ordinary control flow, which is
+    exactly how a broken invariant survives to corrupt a cache.
+    """
+
+    id = "naked-except"
+    summary = "bare except: handler (catches SystemExit/KeyboardInterrupt too)"
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node, "bare except:; catch a concrete exception type"
+                )
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """No mutable default arguments.
+
+    A list/dict/set default is created once at definition time and shared
+    across calls — hidden cross-call state, the exact opposite of the
+    reproducibility story every config dataclass here is built around
+    (note ``dataclasses.field(default_factory=...)``).
+    """
+
+    id = "mutable-default"
+    summary = "mutable default argument (shared across calls)"
+
+    BUILDER_CALLS = frozenset({"list", "dict", "set"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            return (dotted_name(node.func) or "") in self.BUILDER_CALLS
+        return False
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for function in _function_defs(module.tree):
+            defaults = list(function.args.defaults) + [
+                default for default in function.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {function.name!r}; "
+                        "default to None (or use a dataclass default_factory)",
+                    )
+
+
+@register_rule
+class MissingParityOracleRule(LintRule):
+    """Every stacked evaluator must keep its looped parity oracle.
+
+    The stacked corner engine is only trustworthy because a bit-identical
+    per-corner Python loop exists to check it against.  A class defining
+    ``evaluate_corners`` without ``evaluate_corners_looped`` — or opting
+    into ``supports_stacked_corners`` without both stacked-engine hooks —
+    ships a fast path that nothing can vouch for.
+    """
+
+    id = "missing-parity-oracle"
+    summary = "stacked evaluate_corners without a looped parity oracle / hooks"
+
+    STACKED_HOOKS = ("_small_signal_parts", "_metrics_from_parts")
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "evaluate_corners" in methods and "evaluate_corners_looped" not in methods:
+                yield self.finding(
+                    module,
+                    cls,
+                    f"class {cls.name!r} defines evaluate_corners without an "
+                    "evaluate_corners_looped parity oracle",
+                )
+            if _class_is_stacked(cls):
+                missing = [hook for hook in self.STACKED_HOOKS if hook not in methods]
+                if missing:
+                    yield self.finding(
+                        module,
+                        cls,
+                        f"class {cls.name!r} sets supports_stacked_corners = True "
+                        f"but does not define {', '.join(missing)}",
+                    )
+
+
+def iter_rules(select: Optional[Iterable[str]] = None) -> List[LintRule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    ids = available_rules() if select is None else list(select)
+    return [get_rule(rule_id)() for rule_id in ids]

@@ -466,7 +466,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             if value is not None
         ]
-        if args.fail_under != 0.0:
+        if args.fail_under:
             dropped.append("--fail-under")
         if dropped:
             parser.error(f"--cross-check does not accept {', '.join(dropped)}")

@@ -22,6 +22,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import contract
+
 # Boltzmann constant times unit charge ratio appears via thermal voltage.
 BOLTZMANN = 1.380649e-23
 ELECTRON_CHARGE = 1.602176634e-19
@@ -81,6 +83,32 @@ class TechnologyCard:
         return replace(self, **kwargs)
 
 
+def _stacked_card_check(arguments, result) -> str:
+    """Contract: every stacked field is an ``(n_cards, 1)`` float64 column."""
+    try:
+        expected = len(arguments["cards"])
+    except TypeError:  # a generator input; the column checks below still run
+        expected = None
+    for field_ in fields(TechnologyCard):
+        value = getattr(result, field_.name)
+        if not isinstance(value, np.ndarray):
+            continue
+        if value.ndim != 2 or value.shape[1] != 1:
+            return (
+                f"stacked field {field_.name!r} has shape {value.shape}, "
+                "expected (n_cards, 1)"
+            )
+        if expected is not None and value.shape[0] != expected:
+            return (
+                f"stacked field {field_.name!r} has {value.shape[0]} rows "
+                f"for {expected} cards"
+            )
+        if value.dtype != np.float64:
+            return f"stacked field {field_.name!r} has dtype {value.dtype}"
+    return None
+
+
+@contract(check=_stacked_card_check)
 def stack_cards(cards: Sequence[TechnologyCard]) -> TechnologyCard:
     """Fuse per-corner cards into one struct-of-arrays card.
 

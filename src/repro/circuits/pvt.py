@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.circuits.process import ROOM_TEMPERATURE_K, TechnologyCard, stack_cards
+from repro.analysis.contracts import SeqLen, contract
+from repro.circuits.process import (
+    ROOM_TEMPERATURE_K,
+    TechnologyCard,
+    _stacked_card_check,
+    stack_cards,
+)
 
 #: Multiplicative/additive derating factors per process corner:
 #: (nmos mobility factor, pmos mobility factor, nmos Vth shift, pmos Vth shift)
@@ -82,6 +88,12 @@ class PVTCondition:
         )
 
     @staticmethod
+    @contract(
+        args={"corners": SeqLen("c")},
+        check=lambda arguments, result: _stacked_card_check(
+            {"cards": arguments["corners"]}, result
+        ),
+    )
     def apply_stack(
         corners: Sequence["PVTCondition"], card: TechnologyCard
     ) -> TechnologyCard:

@@ -38,6 +38,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
+from repro.analysis.contracts import ArraySpec, SeqLen, contract
 from repro.circuits.mna import MNASolver, logspace_frequencies, unity_gain_metrics
 from repro.circuits.netlist import Netlist
 from repro.circuits.process import TechnologyCard, get_technology
@@ -46,6 +47,35 @@ from repro.core.design_space import DesignSpace
 from repro.search.spec import Spec
 
 SizingLike = Union[Mapping[str, float], Sequence[float], np.ndarray]
+
+
+def _metric_axis_check(arguments, result) -> Optional[str]:
+    """Contract post-condition: the last axis is the problem's metric layout."""
+    expected = len(arguments["self"].METRIC_NAMES)
+    if result.shape[-1] != expected:
+        return f"metric axis has {result.shape[-1]} columns, expected {expected}"
+    return None
+
+
+def batch_evaluator_contract(fn):
+    """Contract for a topology's vectorized ``evaluate_batch``.
+
+    Asserts the ``(count, len(METRIC_NAMES))`` output contract (the input is
+    left to ``validated_batch``, which legitimately coerces 1-D sizings).
+    Concrete topologies decorate their ``evaluate_batch`` with this so every
+    workload in the zoo carries the same runtime check.
+    """
+    return contract(returns=ArraySpec(None, None), check=_metric_axis_check)(fn)
+
+
+def _corner_block_check(arguments, result) -> Optional[str]:
+    """Contract post-condition shared by both corner-tensor evaluators."""
+    message = _metric_axis_check(arguments, result)
+    if message:
+        return message
+    if result.ndim == 3 and result.shape[1] < 1:
+        return "corner block has an empty sample axis"
+    return None
 
 #: Canonical tier order of every ``default_specs()`` ladder, easiest first.
 SPEC_TIERS: Tuple[str, ...] = ("smoke", "nominal", "stretch")
@@ -147,6 +177,7 @@ class SizingProblem(ABC):
             )
         return vector
 
+    @contract(returns=ArraySpec(None, None))
     def validated_batch(self, samples: np.ndarray) -> np.ndarray:
         """Coerce to ``(count, dim)`` float64 and check the column count."""
         samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
@@ -190,6 +221,11 @@ class SizingProblem(ABC):
             evaluator_factory=factory,
         )
 
+    @contract(
+        args={"corners": SeqLen("c")},
+        returns=ArraySpec("c", None, None),
+        check=_corner_block_check,
+    )
     def evaluate_corners(
         self, samples: np.ndarray, corners: Sequence[PVTCondition]
     ) -> np.ndarray:
@@ -220,6 +256,11 @@ class SizingProblem(ABC):
             metrics = np.ascontiguousarray(np.broadcast_to(metrics, shape))
         return metrics
 
+    @contract(
+        args={"corners": SeqLen("c")},
+        returns=ArraySpec("c", None, None),
+        check=_corner_block_check,
+    )
     def evaluate_corners_looped(
         self, samples: np.ndarray, corners: Sequence[PVTCondition]
     ) -> np.ndarray:

@@ -27,6 +27,7 @@ from repro.circuits.topologies.base import (
     AMPLIFIER_METRIC_NAMES,
     SizingLike,
     SizingProblem,
+    batch_evaluator_contract,
     register_topology,
 )
 from repro.core.design_space import DesignSpace, Parameter
@@ -131,6 +132,7 @@ class TelescopicCascodeOTA(SizingProblem):
         slew = p["ibias"] / cout
         return self._stack_metrics(dc_gain_db, fu, phase_margin, power, slew)
 
+    @batch_evaluator_contract
     def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
         samples = self.validated_batch(samples)
         return self._metrics_from_parts(self._small_signal_parts(samples))

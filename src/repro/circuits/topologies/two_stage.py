@@ -41,6 +41,7 @@ from repro.circuits.topologies.base import (
     AMPLIFIER_METRIC_NAMES,
     SizingLike,
     SizingProblem,
+    batch_evaluator_contract,
     register_topology,
 )
 from repro.core.design_space import DesignSpace, Parameter
@@ -155,6 +156,7 @@ class TwoStageOpAmp(SizingProblem):
         slew = np.minimum(p["ibias"] / cc, p["i2"] / c2)
         return self._stack_metrics(dc_gain_db, fu, phase_margin, power, slew)
 
+    @batch_evaluator_contract
     def evaluate_batch(self, samples: np.ndarray) -> np.ndarray:
         """Closed-form metrics for a ``(count, dim)`` array of sizings.
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import ArraySpec, contract
 from repro.nn.modules import MLP, Activation, Linear
 
 
@@ -165,8 +166,9 @@ class FusedMLP:
         state: Dict[str, np.ndarray] = {}
         index = 0
         for weight, bias in zip(self._weights, self._biases):
+            # analysis: allow(hot-loop-alloc) serialization is cold by design
             state[f"param_{index}"] = weight.copy()
-            state[f"param_{index + 1}"] = bias.copy()
+            state[f"param_{index + 1}"] = bias.copy()  # analysis: allow(hot-loop-alloc)
             index += 2
         return state
 
@@ -178,6 +180,7 @@ class FusedMLP:
                 f"state has {len(state)} entries but model has {len(arrays)} parameters"
             )
         for i, target in enumerate(arrays):
+            # analysis: allow(hot-loop-alloc) deserialization is cold by design
             incoming = np.asarray(state[f"param_{i}"], dtype=np.float64)
             if incoming.shape != target.shape:
                 raise ValueError(
@@ -210,12 +213,15 @@ class FusedMLP:
         cached = self._scratch.get(rows)
         if cached is None:
             z_buffers, a_buffers, g_buffers, tmp_buffers = [], [], [], []
+            # The allocations below run once per distinct batch size and are
+            # what keeps loss_and_grad itself allocation-free.
             for (_, fan_out), act in zip(self._shapes, self._activations):
-                z = np.empty((rows, fan_out))
+                z = np.empty((rows, fan_out))  # analysis: allow(hot-loop-alloc)
                 z_buffers.append(z)
+                # analysis: allow(hot-loop-alloc) one-time scratch
                 a_buffers.append(z if act == "identity" else np.empty((rows, fan_out)))
-                g_buffers.append(np.empty((rows, fan_out)))
-                tmp_buffers.append(np.empty((rows, fan_out)))
+                g_buffers.append(np.empty((rows, fan_out)))  # analysis: allow(hot-loop-alloc)
+                tmp_buffers.append(np.empty((rows, fan_out)))  # analysis: allow(hot-loop-alloc)
             cached = (z_buffers, a_buffers, g_buffers, tmp_buffers)
             self._scratch[rows] = cached
         return cached
@@ -303,6 +309,10 @@ class FusedMLP:
                 grad_out = np.matmul(grad_out, weights[index].T, out=g_buffers[index - 1])
         return loss, self._grad
 
+    @contract(
+        args={"inputs": ArraySpec("n", None), "targets": ArraySpec("n", None)},
+        frozen=("inputs", "targets"),
+    )
     def fit(
         self,
         inputs: np.ndarray,

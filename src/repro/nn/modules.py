@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.autodiff import Tensor
+from repro.nn.seeding import resolve_rng
 
 
 class Module:
@@ -74,8 +75,9 @@ class Linear(Module):
         out_features: int,
         rng: Optional[np.random.Generator] = None,
         init: str = "xavier",
+        seed: Optional[int] = None,
     ) -> None:
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng, seed)
         if init == "xavier":
             scale = np.sqrt(2.0 / (in_features + out_features))
         elif init == "he":
@@ -168,8 +170,9 @@ class MLP(Module):
         output_activation: str = "identity",
         rng: Optional[np.random.Generator] = None,
         init: str = "xavier",
+        seed: Optional[int] = None,
     ) -> None:
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng, seed)
         layers: List[Module] = []
         previous = in_features
         for width in hidden:

@@ -18,6 +18,7 @@ from repro.nn.fused import FusedAdam, FusedMLP
 from repro.nn.losses import mse_loss
 from repro.nn.modules import MLP
 from repro.nn.optim import Adam, Optimizer
+from repro.nn.seeding import resolve_rng
 
 #: Training backends: ``"fused"`` is the hand-derived NumPy fast path,
 #: ``"autodiff"`` the Tensor-graph reference oracle.  ``"auto"`` picks by
@@ -79,6 +80,7 @@ def train_regressor(
     rng: Optional[np.random.Generator] = None,
     l2: float = 0.0,
     backend: str = "auto",
+    seed: Optional[int] = None,
 ) -> TrainingHistory:
     """Fit ``model`` to map ``inputs`` to ``targets`` with MSE.
 
@@ -95,6 +97,11 @@ def train_regressor(
         across incremental refits).  Must match the backend: an autodiff
         :class:`Adam`/:class:`Optimizer` for ``"autodiff"``, a
         :class:`FusedAdam` for ``"fused"``.
+    rng, seed:
+        Minibatch-shuffling RNG: pass a Generator to share a stream, or a
+        seed to build one.  With neither, the fixed library default seed is
+        used (:mod:`repro.nn.seeding`) — never OS entropy, so a fit is
+        reproducible even when the caller forgets to thread an rng.
     l2:
         Weight decay strength.
     backend:
@@ -107,7 +114,7 @@ def train_regressor(
     bit-identical floating-point updates, so the choice never changes the
     fitted weights — only how fast they are reached.
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng, seed)
     inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
     targets = np.atleast_2d(np.asarray(targets, dtype=np.float64))
     if inputs.shape[0] != targets.shape[0]:

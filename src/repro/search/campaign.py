@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.contracts import ArraySpec, contract
 from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
 from repro.core.design_space import DesignSpace
 from repro.search.eval_cache import CornerEvaluator, EvaluationCache
@@ -106,6 +107,30 @@ class CampaignResult:
         if not self.results:
             return 0.0
         return sum(r.solved_all_corners for r in self.results) / len(self.results)
+
+
+def _receive_precondition(arguments) -> Optional[str]:
+    """Contract: a received metric block must match the member's last request.
+
+    A precondition (not a return check) because ``receive`` consumes
+    ``_pending_rows`` while running — the expected shape must be read before
+    the call body executes.
+    """
+    member = arguments["self"]
+    block = arguments["block"]
+    if member._state == "search":
+        if member._pending_rows is None:
+            return "receive() without a pending search request"
+        expected = (
+            len(member.active),
+            member._pending_rows.shape[0],
+            len(member.metric_names),
+        )
+    else:
+        expected = (len(member.ranked), 1, len(member.metric_names))
+    if block.shape != expected:
+        return f"metric block shape {block.shape}, expected {expected}"
+    return None
 
 
 class _ProgressiveMember:
@@ -190,6 +215,7 @@ class _ProgressiveMember:
             raise RuntimeError(f"member in unexpected state {self._state!r}")
         return None
 
+    @contract(args={"block": ArraySpec(None, None, None)}, pre=_receive_precondition)
     def receive(self, block: np.ndarray) -> None:
         """Consume the metric block ``(n_corners, count, n_metrics)`` of the
         member's last request."""
@@ -365,6 +391,9 @@ class Campaign:
                     member.receive(cache.evaluate(rows, corners))
                     continue
                 corners = grouped[0][2]
+                # One stack per round is the whole point — it buys a single
+                # large evaluator call.
+                # analysis: allow(hot-loop-alloc) intentional per-round stack
                 cache.evaluate(np.vstack([rows for _, rows, _ in grouped]), corners)
                 for member, rows, _ in grouped:
                     member.receive(cache.evaluate(rows, corners))

@@ -24,11 +24,13 @@ wall time actually spent inside the wrapped evaluator.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import ArraySpec, SeqLen, contract
 from repro.circuits.pvt import PVTCondition
 
 #: A corner evaluator maps ``(count, dim)`` sizings and a corner list to a
@@ -87,6 +89,10 @@ class EvaluationCache:
         width = self._key_width
         return [data[i * width : (i + 1) * width] for i in range(samples.shape[0])]
 
+    @contract(
+        args={"corners": SeqLen("c")},
+        returns=ArraySpec("c", None, None),
+    )
     def evaluate(
         self, samples: np.ndarray, corners: Sequence[PVTCondition]
     ) -> np.ndarray:
@@ -97,6 +103,11 @@ class EvaluationCache:
         stacked call covering all requested corners at once (recomputing a
         corner that was cached for such a row costs nothing extra in the
         broadcast and returns bit-identical values).
+
+        The returned block — and every metric row retained in the cache —
+        is **read-only** (``writeable=False``): a caller mutating a result
+        in place would otherwise silently corrupt the shared cache (results
+        alias cached rows), so the mutation faults at its own line instead.
         """
         samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
         corners = list(corners)
@@ -126,6 +137,9 @@ class EvaluationCache:
             )
             self.eval_seconds += time.perf_counter() - started
             out[:, fresh, :] = block
+            # The stored metric rows are views into this block; freezing it
+            # makes every cached row immutable for the cache's lifetime.
+            block.flags.writeable = False
             for corner_index, store in enumerate(stores):
                 for block_index, row_index in enumerate(fresh):
                     store[keys[row_index]] = block[corner_index, block_index]
@@ -135,4 +149,34 @@ class EvaluationCache:
                 continue
             for corner_index, store in enumerate(stores):
                 out[corner_index, row_index] = store[keys[row_index]]
+        out.flags.writeable = False
         return out
+
+    def state_digest(self) -> str:
+        """SHA-256 over the full cache content, bit for bit.
+
+        Every ``(corner, row-key, metric-row)`` triple enters the hash in a
+        canonical order (corners by their exact field values, rows by key
+        bytes), so two caches digest equal **iff** they hold bit-identical
+        results for bit-identical sizings at identical corners — the
+        determinism auditor's cache comparison.
+        """
+        digest = hashlib.sha256()
+        corner_order = sorted(
+            self._store,
+            key=lambda corner: (
+                corner.process,
+                corner.voltage_factor.hex(),
+                corner.temperature_c.hex(),
+            ),
+        )
+        for corner in corner_order:
+            digest.update(
+                f"{corner.process}|{corner.voltage_factor.hex()}"
+                f"|{corner.temperature_c.hex()}".encode("ascii")
+            )
+            store = self._store[corner]
+            for key in sorted(store):
+                digest.update(key)
+                digest.update(store[key].tobytes())
+        return digest.hexdigest()

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.core.design_space import DesignSpace
 from repro.search.spec import Specification
 
@@ -48,6 +49,27 @@ BatchEvaluator = Callable[[np.ndarray], np.ndarray]
 #: Feasibility tolerance shared with :meth:`Specification.satisfied`: a score
 #: this close to zero counts as solved, so float round-off never burns budget.
 FEASIBLE_TOL = -1e-9
+
+
+def tell_precondition(arguments) -> Optional[str]:
+    """Contract shared by every ``tell``: one metric row per sizing row.
+
+    Checked only once both arguments are 2-D arrays — ``tell`` legitimately
+    coerces 1-D convenience inputs itself.
+    """
+    samples = arguments["samples"]
+    metrics = arguments["metrics"]
+    if (
+        isinstance(samples, np.ndarray)
+        and isinstance(metrics, np.ndarray)
+        and samples.ndim == 2
+        and metrics.ndim == 2
+        and samples.shape[0] != metrics.shape[0]
+    ):
+        return (
+            f"told {metrics.shape[0]} metric rows for {samples.shape[0]} sizings"
+        )
+    return None
 
 
 @dataclass
@@ -325,6 +347,7 @@ class DatasetOptimizer(Optimizer):
     def _empty_batch(self) -> np.ndarray:
         return np.empty((0, self.design_space.dimension))
 
+    @contract(pre=tell_precondition)
     def tell(self, samples: np.ndarray, metrics: np.ndarray) -> None:
         """Default tell: append, refresh the incumbent, record history."""
         samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))

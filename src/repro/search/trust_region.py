@@ -50,6 +50,7 @@ from repro.nn.modules import MLP
 from repro.nn.optim import Adam
 from repro.nn.scalers import StandardScaler
 from repro.nn.training import train_regressor
+from repro.analysis.contracts import contract
 from repro.search.optimizer import (
     FEASIBLE_TOL,
     BatchEvaluator,
@@ -57,6 +58,7 @@ from repro.search.optimizer import (
     IterationRecord,
     SearchResult,
     register_optimizer,
+    tell_precondition,
 )
 from repro.search.spec import Specification
 
@@ -278,6 +280,7 @@ class TrustRegionSearch(DatasetOptimizer):
                 self._done = True
         return rows
 
+    @contract(pre=tell_precondition)
     def tell(self, samples: np.ndarray, metrics: np.ndarray) -> None:
         """Fold evaluated metrics back in: dataset, surrogate, radius.
 
