@@ -1,3 +1,3 @@
 """Reproduction of conf_dac_YangTSCTWTYL21: surrogate-assisted analog sizing."""
 
-__all__ = ["autodiff", "circuits", "core", "nn", "search"]
+__all__ = ["analysis", "autodiff", "bench", "circuits", "core", "nn", "obs", "search"]

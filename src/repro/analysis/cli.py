@@ -13,11 +13,15 @@ fingerprint mismatch — both are wired as the CI ``analysis`` job.
 from __future__ import annotations
 
 import argparse
+import logging
 from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.analysis.engine import AnalysisConfig, lint_paths
 from repro.analysis.rules import available_rules, get_rule
+from repro.obs.logs import add_logging_flags, configure_cli_logging
+
+module_logger = logging.getLogger(__name__)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -29,7 +33,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule_id in selected:
             get_rule(rule_id)  # fail fast with the available-rules message
         config = replace(config, select=selected)
+    module_logger.info("linting %s", ", ".join(args.paths))
     findings = lint_paths(args.paths, config)
+    # Findings and the count line are the machine-readable output: stdout.
     for finding in findings:
         print(finding.format())
     plural = "" if len(findings) == 1 else "s"
@@ -42,6 +48,9 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
     # dependencies are unavailable.
     from repro.analysis.determinism import audit_suite
 
+    module_logger.info(
+        "auditing suite %r twice in-process with %d seed(s)", args.suite, args.seeds
+    )
     report = audit_suite(
         suite=args.suite,
         seeds=range(args.seeds),
@@ -84,6 +93,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="RULES",
         help="comma-separated rule ids to run (default: all; see 'rules')",
     )
+    add_logging_flags(lint)
     lint.set_defaults(func=_cmd_lint)
 
     determinism = subparsers.add_parser(
@@ -124,10 +134,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="audit without enabling the runtime invariant contracts "
         "(default: contracts on, so violations fault loudly)",
     )
+    add_logging_flags(determinism)
     determinism.set_defaults(func=_cmd_determinism)
 
     rules = subparsers.add_parser("rules", help="list the registered lint rules")
+    add_logging_flags(rules)
     rules.set_defaults(func=_cmd_rules)
 
     args = parser.parse_args(argv)
+    configure_cli_logging(quiet=args.quiet, verbose=args.verbose)
     return args.func(args)

@@ -56,12 +56,19 @@ class AnalysisConfig:
     )
     #: Path substrings marking test code (some rules only apply to library code).
     test_markers: Tuple[str, ...] = ("tests/", "test_", "conftest.py")
+    #: Modules sanctioned to read wall clocks directly (the observability
+    #: layer everything else is expected to time through).
+    timing_modules: Tuple[str, ...] = ("repro/obs/",)
     #: Restrict linting to these rule ids (``None`` = all registered rules).
     select: Optional[Tuple[str, ...]] = None
 
     def is_hot_module(self, path: str) -> bool:
         normalized = path.replace(os.sep, "/")
         return any(marker in normalized for marker in self.hot_modules)
+
+    def is_timing_module(self, path: str) -> bool:
+        normalized = path.replace(os.sep, "/")
+        return any(marker in normalized for marker in self.timing_modules)
 
     def is_test_path(self, path: str) -> bool:
         normalized = path.replace(os.sep, "/")
@@ -91,6 +98,10 @@ class ModuleSource:
     @property
     def is_hot_module(self) -> bool:
         return self.config.is_hot_module(self.path)
+
+    @property
+    def is_timing_module(self) -> bool:
+        return self.config.is_timing_module(self.path)
 
     def allowed_rules(self, line: int) -> Set[str]:
         """Rule ids suppressed at ``line`` (pragma there or on the line above)."""

@@ -503,6 +503,70 @@ class MissingParityOracleRule(LintRule):
                     )
 
 
+@register_rule
+class AdHocTimingRule(LintRule):
+    """All wall-clock reads go through :mod:`repro.obs`, not raw ``time``.
+
+    Scattered ``time.perf_counter()`` pairs are exactly how the pre-obs
+    codebase accumulated unlabelled, un-aggregatable timings: each one is
+    invisible to the trace report, double-counts nothing consistently, and
+    bit-rots when the code around it moves.  The ``profiled(...)`` context
+    manager and ``@span`` decorator record the same duration *and* feed the
+    structured trace/metrics registry, so library code must use those.  The
+    observability layer itself (``repro/obs/``) is the sanctioned home of
+    the raw clock reads; tests are exempt too.
+    """
+
+    id = "ad-hoc-timing"
+    summary = "direct time.perf_counter()/time.time() outside repro.obs"
+
+    CLOCKS = frozenset(
+        {
+            "perf_counter",
+            "perf_counter_ns",
+            "time",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+
+    def _clock_imports(self, module: "ModuleSource") -> Set[str]:
+        """Local names bound to clock functions via ``from time import ...``."""
+        names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self.CLOCKS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test or module.is_timing_module:
+            return
+        bare_clocks = self._clock_imports(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            is_dotted_clock = (
+                len(parts) == 2 and parts[0] == "time" and parts[1] in self.CLOCKS
+            )
+            is_bare_clock = len(parts) == 1 and parts[0] in bare_clocks
+            if is_dotted_clock or is_bare_clock:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() reads the wall clock directly; time through "
+                    "repro.obs (profiled(...) context manager or @span) so "
+                    "the duration lands in the trace and metrics registry",
+                )
+
+
 def iter_rules(select: Optional[Iterable[str]] = None) -> List[LintRule]:
     """Instantiate the selected rules (all registered rules by default)."""
     ids = available_rules() if select is None else list(select)

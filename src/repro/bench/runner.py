@@ -17,18 +17,18 @@ run in lockstep rounds sharing single stacked ``evaluate_corners`` passes
 (far fewer, larger evaluator calls), bit-exact per seed versus
 ``--execution sequential``, the one-seed-at-a-time oracle path.
 
-The JSON artifact schema is ``repro.bench/v4`` (see README "Benchmarking").
-Relative to v3 it adds the ``optimizer`` (registered search strategy) and
-``execution`` fields at the top level and per case, an ``eval`` accounting
-block per case (engine calls, lockstep rounds, cache hits/misses,
-evaluator wall time), switches the per-case timing fields to totals across
-seeds, and slims ``per_seed`` to the seed-separable fields (all built by
-``ProgressiveResult.to_dict``):
+The JSON artifact schema is ``repro.bench/v5`` (see README "Benchmarking").
+Relative to v4 it restores the per-seed evaluation accounting
+(``eval_seconds``/``cache_hits``/``cache_misses``/``engine_calls``), now
+attributed exactly per seed even under shared campaign tensor passes, and
+adds a per-case ``telemetry`` block — per-span-name count/seconds rollups
+from :mod:`repro.obs` — populated when the run traces (``--trace PATH`` or
+``REPRO_TRACE``), ``null`` otherwise:
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v4",
+      "schema": "repro.bench/v5",
       "suite": "smoke",
       "seeds": [0, 1, 2],
       "backend": "fused",
@@ -47,8 +47,13 @@ seeds, and slims ``per_seed`` to the seed-separable fields (all built by
           "refit_seconds": 0.12, "eval_seconds": 0.01, "wall_seconds": 0.2,
           "eval": {"engine_calls": 31, "rounds": 29,
                    "cache_hits": 27, "cache_misses": 9486},
+          "telemetry": {"spans": {"trust_region.refit":
+                                  {"count": 54, "seconds": 0.12}},
+                        "events": {"campaign.solved": 3}},
           "per_seed": [{"seed": 0, "solved": true, "evaluations": 169,
                         "phases": 2, "refit_seconds": 0.05,
+                        "eval_seconds": 0.004, "cache_hits": 9,
+                        "cache_misses": 3162, "engine_calls": 11,
                         "failing_corners": [],
                         "best_sizing": {"w1": 4.6e-05}}]
         }
@@ -60,7 +65,7 @@ seeds, and slims ``per_seed`` to the seed-separable fields (all built by
 from __future__ import annotations
 
 import json
-import time
+import logging
 from dataclasses import replace
 from statistics import median
 from typing import Any, Dict, List, Optional, Sequence
@@ -73,29 +78,55 @@ from repro.bench.registry import (
 )
 from repro.circuits.topologies import available_topologies, get_topology
 from repro.circuits.topologies.base import SPEC_TIERS
+from repro.obs import diff_snapshots, get_tracer, profiled, tracing, tracing_enabled
+from repro.obs.logs import add_logging_flags, configure_cli_logging
 from repro.search.optimizer import available_optimizers
 from repro.search.progressive import ProgressiveConfig, ProgressiveResult
 from repro.search.sizing import build_campaign, size_problem
 
-SCHEMA = "repro.bench/v4"
+SCHEMA = "repro.bench/v5"
+
+module_logger = logging.getLogger(__name__)
 
 #: How a case's seeds execute: ``campaign`` batches all seeds through
 #: shared vectorized corner passes, ``sequential`` runs one
 #: :func:`size_problem` per seed (the bit-exact oracle path).
 EXECUTIONS = ("campaign", "sequential")
 
-#: Per-seed fields that are not seed-separable under shared campaign
-#: evaluation; they are aggregated into the case-level ``eval`` block.
-_CASE_LEVEL_FIELDS = ("eval_seconds", "cache_hits", "cache_misses", "engine_calls")
-
-
 def _per_seed_record(seed: int, result: ProgressiveResult) -> Dict[str, Any]:
     record: Dict[str, Any] = {"seed": int(seed)}
     record.update(result.to_dict())
-    for name in _CASE_LEVEL_FIELDS:
-        record.pop(name, None)
     record["refit_seconds"] = round(record["refit_seconds"], 6)
+    record["eval_seconds"] = round(record["eval_seconds"], 6)
     return record
+
+
+def _case_telemetry(
+    before: Optional[Dict[str, Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    """Per-case span/event rollups from the tracer's metrics registry.
+
+    Built as a snapshot *diff* (what this case added on top of ``before``)
+    rather than from the trace ring, so the rollup stays exact even when a
+    long suite wraps the ring.  ``None`` when the run is not tracing.
+    """
+    if before is None:
+        return None
+    delta = diff_snapshots(before, get_tracer().metrics.snapshot())
+    spans = {
+        name[len("span.") :]: {
+            "count": record["count"],
+            "seconds": round(record["total"], 6),
+        }
+        for name, record in delta.items()
+        if name.startswith("span.") and record["kind"] == "histogram"
+    }
+    events = {
+        name[len("event.") :]: record["value"]
+        for name, record in delta.items()
+        if name.startswith("event.") and record["kind"] == "counter"
+    }
+    return {"spans": spans, "events": events}
 
 
 def run_case(
@@ -129,57 +160,63 @@ def run_case(
     )
     effective_optimizer = optimizer if optimizer is not None else case.optimizer
 
-    started = time.perf_counter()
-    if execution == "campaign":
-        campaign = build_campaign(
-            case.topology,
-            technology=case.technology,
-            load_cap=case.load_cap,
-            tier=case.tier,
-            corners=case.corners(),
-            config=case.config(seeds[0] if seeds else 0),
-            seeds=seeds,
-            backend=backend,
-            corner_engine=corner_engine,
-            optimizer=effective_optimizer,
-            max_phases=case.max_phases,
-        )
-        outcome = campaign.run()
-        results = outcome.results
-        eval_block: Dict[str, Any] = {
-            "engine_calls": outcome.engine_calls,
-            "rounds": outcome.rounds,
-            "cache_hits": outcome.cache_hits,
-            "cache_misses": outcome.cache_misses,
-        }
-        eval_seconds = outcome.eval_seconds
-    else:
-        results = []
-        for seed in seeds:
-            config = case.config(seed)
-            if backend is not None:
-                config = replace(config, backend=backend)
-            results.append(
-                size_problem(
-                    case.topology,
-                    technology=case.technology,
-                    load_cap=case.load_cap,
-                    tier=case.tier,
-                    corners=case.corners(),
-                    config=config,
-                    max_phases=case.max_phases,
-                    corner_engine=corner_engine,
-                    optimizer=effective_optimizer,
-                )
+    module_logger.info(
+        "case %s: %d seed(s), %s execution", case.name, len(seeds), execution
+    )
+    metrics_before = get_tracer().metrics.snapshot() if tracing_enabled() else None
+    with profiled(
+        "bench.run_case", case=case.name, topology=case.topology, tier=case.tier
+    ) as wall_timer:
+        if execution == "campaign":
+            campaign = build_campaign(
+                case.topology,
+                technology=case.technology,
+                load_cap=case.load_cap,
+                tier=case.tier,
+                corners=case.corners(),
+                config=case.config(seeds[0] if seeds else 0),
+                seeds=seeds,
+                backend=backend,
+                corner_engine=corner_engine,
+                optimizer=effective_optimizer,
+                max_phases=case.max_phases,
             )
-        eval_block = {
-            "engine_calls": sum(result.engine_calls for result in results),
-            "rounds": None,
-            "cache_hits": sum(result.cache_hits for result in results),
-            "cache_misses": sum(result.cache_misses for result in results),
-        }
-        eval_seconds = sum(result.eval_seconds for result in results)
-    wall = time.perf_counter() - started
+            outcome = campaign.run()
+            results = outcome.results
+            eval_block: Dict[str, Any] = {
+                "engine_calls": outcome.engine_calls,
+                "rounds": outcome.rounds,
+                "cache_hits": outcome.cache_hits,
+                "cache_misses": outcome.cache_misses,
+            }
+            eval_seconds = outcome.eval_seconds
+        else:
+            results = []
+            for seed in seeds:
+                config = case.config(seed)
+                if backend is not None:
+                    config = replace(config, backend=backend)
+                results.append(
+                    size_problem(
+                        case.topology,
+                        technology=case.technology,
+                        load_cap=case.load_cap,
+                        tier=case.tier,
+                        corners=case.corners(),
+                        config=config,
+                        max_phases=case.max_phases,
+                        corner_engine=corner_engine,
+                        optimizer=effective_optimizer,
+                    )
+                )
+            eval_block = {
+                "engine_calls": sum(result.engine_calls for result in results),
+                "rounds": None,
+                "cache_hits": sum(result.cache_hits for result in results),
+                "cache_misses": sum(result.cache_misses for result in results),
+            }
+            eval_seconds = sum(result.eval_seconds for result in results)
+    wall = wall_timer.seconds
 
     per_seed = [_per_seed_record(seed, result) for seed, result in zip(seeds, results)]
     solved = [record for record in per_seed if record["solved"]]
@@ -202,6 +239,7 @@ def run_case(
         "eval_seconds": round(eval_seconds, 6),
         "wall_seconds": round(wall, 6),
         "eval": eval_block,
+        "telemetry": _case_telemetry(metrics_before),
         "per_seed": per_seed,
     }
 
@@ -219,21 +257,22 @@ def run_suite(
     optimizer: Optional[str] = None,
     execution: str = "campaign",
 ) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v4`` payload."""
+    """Run every case of a suite; returns the ``repro.bench/v5`` payload."""
     cases = get_suite(suite)
-    started = time.perf_counter()
-    case_results = [
-        run_case(
-            case,
-            seeds,
-            backend=backend,
-            corner_engine=corner_engine,
-            optimizer=optimizer,
-            execution=execution,
-        )
-        for case in cases
-    ]
-    wall = time.perf_counter() - started
+    module_logger.info("suite %r: %d case(s)", suite, len(cases))
+    with profiled("bench.run_suite", suite=suite, cases=len(cases)) as wall_timer:
+        case_results = [
+            run_case(
+                case,
+                seeds,
+                backend=backend,
+                corner_engine=corner_engine,
+                optimizer=optimizer,
+                execution=execution,
+            )
+            for case in cases
+        ]
+    wall = wall_timer.seconds
     runs = [record for result in case_results for record in result["per_seed"]]
     return {
         "schema": SCHEMA,
@@ -294,26 +333,29 @@ def cross_check(suite: str = "tiny", seed: int = 0) -> int:
         and fused["solved"] == autodiff["solved"]
     )
     faster = fused["refit_seconds"] <= CROSS_CHECK_MAX_RATIO * autodiff["refit_seconds"]
-    print(
-        f"cross-check {case.name} seed {seed}: "
-        f"fused refit {fused['refit_seconds']:.3f}s "
-        f"vs autodiff {autodiff['refit_seconds']:.3f}s"
+    module_logger.info(
+        "cross-check %s seed %d: fused refit %.3fs vs autodiff %.3fs",
+        case.name,
+        seed,
+        fused["refit_seconds"],
+        autodiff["refit_seconds"],
     )
     if not parity:
-        print(
-            "FAIL: backends diverged — "
-            f"evaluations {fused['evaluations']} vs {autodiff['evaluations']}, "
-            f"solved {fused['solved']} vs {autodiff['solved']}"
+        module_logger.error(
+            "cross-check FAIL: backends diverged — evaluations %s vs %s, "
+            "solved %s vs %s",
+            fused["evaluations"],
+            autodiff["evaluations"],
+            fused["solved"],
+            autodiff["solved"],
         )
     if not faster:
-        print(
-            f"FAIL: fused refit above {CROSS_CHECK_MAX_RATIO:.2f}x "
-            "of the autodiff reference"
+        module_logger.error(
+            "cross-check FAIL: fused refit above %.2fx of the autodiff reference",
+            CROSS_CHECK_MAX_RATIO,
         )
-    if parity and faster:
-        print(
-            f"parity OK, fused refit <= {CROSS_CHECK_MAX_RATIO:.2f}x autodiff refit"
-        )
+    # The verdict is the machine-readable output; it stays on stdout.
+    print("cross-check PASS" if parity and faster else "cross-check FAIL")
     return 0 if parity and faster else 1
 
 
@@ -442,7 +484,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "backend and verify trajectory parity plus fused refit <= autodiff "
         "refit (the CI backend guard)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a repro.obs JSONL trace of the whole run to PATH "
+        "(render with 'python -m repro.obs report PATH'); also populates "
+        "the per-case telemetry block in the artifact",
+    )
+    add_logging_flags(parser)
     args = parser.parse_args(argv)
+    configure_cli_logging(quiet=args.quiet, verbose=args.verbose)
 
     if args.list:
         print(format_listing())
@@ -463,6 +515,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--backend", args.backend),
                 ("--corner-engine", args.corner_engine),
                 ("--optimizer", args.optimizer),
+                ("--trace", args.trace),
             )
             if value is not None
         ]
@@ -478,14 +531,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not 0.0 <= args.fail_under <= 1.0:
         parser.error("--fail-under must be within [0, 1]")
 
-    payload = run_suite(
-        args.suite,
-        seeds=range(seeds),
-        backend=args.backend,
-        corner_engine=args.corner_engine,
-        optimizer=args.optimizer,
-        execution=args.execution,
-    )
+    def _run() -> Dict[str, Any]:
+        return run_suite(
+            args.suite,
+            seeds=range(seeds),
+            backend=args.backend,
+            corner_engine=args.corner_engine,
+            optimizer=args.optimizer,
+            execution=args.execution,
+        )
+
+    if args.trace:
+        # Tracing is trajectory-neutral (locked by tests), so the traced
+        # run produces the same artifact plus the telemetry block.
+        with tracing(sink=args.trace):
+            payload = _run()
+        module_logger.info("wrote trace %s", args.trace)
+    else:
+        payload = _run()
     output = args.output or f"BENCH_{args.suite}.json"
     write_bench_json(payload, output)
     print(format_summary(payload))

@@ -44,6 +44,7 @@ from repro.circuits.netlist import Netlist
 from repro.circuits.process import TechnologyCard, get_technology
 from repro.circuits.pvt import NOMINAL, PVTCondition
 from repro.core.design_space import DesignSpace
+from repro.obs import span
 from repro.search.spec import Spec
 
 SizingLike = Union[Mapping[str, float], Sequence[float], np.ndarray]
@@ -226,6 +227,7 @@ class SizingProblem(ABC):
         returns=ArraySpec("c", None, None),
         check=_corner_block_check,
     )
+    @span("topology.evaluate_corners", self_tags={"topology": "name"})
     def evaluate_corners(
         self, samples: np.ndarray, corners: Sequence[PVTCondition]
     ) -> np.ndarray:
@@ -261,6 +263,7 @@ class SizingProblem(ABC):
         returns=ArraySpec("c", None, None),
         check=_corner_block_check,
     )
+    @span("topology.evaluate_corners_looped", self_tags={"topology": "name"})
     def evaluate_corners_looped(
         self, samples: np.ndarray, corners: Sequence[PVTCondition]
     ) -> np.ndarray:

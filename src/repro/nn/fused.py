@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.analysis.contracts import ArraySpec, contract
 from repro.nn.modules import MLP, Activation, Linear
+from repro.obs import span
 
 
 class FusedMLP:
@@ -313,6 +314,7 @@ class FusedMLP:
         args={"inputs": ArraySpec("n", None), "targets": ArraySpec("n", None)},
         frozen=("inputs", "targets"),
     )
+    @span("nn.fused_fit")
     def fit(
         self,
         inputs: np.ndarray,

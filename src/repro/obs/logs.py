@@ -1,0 +1,50 @@
+"""Shared stdlib-logging setup for the CLI entry points.
+
+Every module gets its own logger (``logging.getLogger(__name__)``, the
+module-logger pattern), status lines go through it at INFO/DEBUG, and the
+CLIs call :func:`configure_cli_logging` once after argument parsing —
+machine-readable output (summaries, artifact paths, findings) stays on
+stdout, human status narration goes to stderr and is silenced by
+``--quiet`` or widened by ``--verbose``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+
+def configure_cli_logging(quiet: bool = False, verbose: bool = False) -> None:
+    """Point the ``repro`` logger tree at stderr and set its level.
+
+    Idempotent: repeated calls (tests drive the CLI mains in-process) only
+    adjust the level, never stack handlers.
+    """
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+    if quiet:
+        root.setLevel(logging.ERROR)
+    elif verbose:
+        root.setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.INFO)
+
+
+def add_logging_flags(parser) -> None:
+    """Attach the shared ``--quiet`` / ``--verbose`` pair to a parser."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress status logging (errors only); machine-readable "
+        "stdout output is unaffected",
+    )
+    group.add_argument(
+        "--verbose",
+        action="store_true",
+        help="debug-level status logging on stderr",
+    )

@@ -40,6 +40,7 @@ import numpy as np
 from repro.analysis.contracts import ArraySpec, contract
 from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
 from repro.core.design_space import DesignSpace
+from repro.obs import event, profiled
 from repro.search.eval_cache import CornerEvaluator, EvaluationCache
 from repro.search.optimizer import Optimizer, get_optimizer
 from repro.search.progressive import (
@@ -161,8 +162,16 @@ class _ProgressiveMember:
         self.config = (
             replace(trust_config, seed=seed) if trust_config.seed != seed else trust_config
         )
+        self.optimizer_name = optimizer_name
         self.optimizer_cls = get_optimizer(optimizer_name)
         self.max_phases = max_phases
+        # Per-seed evaluation accounting, attributed by the Campaign: exact
+        # cache-counter deltas for this member's own requests, plus its
+        # share of any multi-seed stacked pass (see Campaign._run_group).
+        self.eval_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.engine_calls = 0
         self._single_spec = Specification(self.specs, self.metric_names)
 
         self.active: List[PVTCondition] = [self.ranked[0]]
@@ -194,12 +203,27 @@ class _ProgressiveMember:
             initial_points=self.warm_start,
         )
 
+    def account(
+        self, hits: int, misses: int, engine_calls: int, eval_seconds: float
+    ) -> None:
+        """Fold one evaluation's attributed cache/engine deltas into the seed."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.engine_calls += engine_calls
+        self.eval_seconds += eval_seconds
+
     def request(self) -> Optional[Tuple[np.ndarray, List[PVTCondition]]]:
         """The member's next evaluation request, or ``None`` when finished."""
         while not self.finished:
             if self._state == "search":
                 if not self.optimizer.is_done:
-                    rows = self.optimizer.ask()
+                    with profiled(
+                        "optimizer.ask",
+                        seed=self.seed,
+                        phase=self.phase,
+                        optimizer=self.optimizer_name,
+                    ):
+                        rows = self.optimizer.ask()
                     if rows.shape[0]:
                         self._pending_rows = rows
                         return rows, self.active
@@ -211,6 +235,12 @@ class _ProgressiveMember:
                 self.best_vector = result.best_vector
                 self.warm_start = self.best_vector[np.newaxis, :]
                 self._state = "verify"
+                event(
+                    "campaign.verify",
+                    seed=self.seed,
+                    phase=self.phase,
+                    evaluations=result.evaluations,
+                )
                 return self.best_vector[np.newaxis, :], self.ranked
             raise RuntimeError(f"member in unexpected state {self._state!r}")
         return None
@@ -224,7 +254,13 @@ class _ProgressiveMember:
             # specification — for each sizing row, corner 0's metrics
             # first, then corner 1's, and so on.
             flat = block.transpose(1, 0, 2).reshape(self._pending_rows.shape[0], -1)
-            self.optimizer.tell(self._pending_rows, flat)
+            with profiled(
+                "optimizer.tell",
+                seed=self.seed,
+                phase=self.phase,
+                rows=int(flat.shape[0]),
+            ):
+                self.optimizer.tell(self._pending_rows, flat)
             self._pending_rows = None
             return
         # Verification of the phase winner across the full corner grid.
@@ -246,6 +282,7 @@ class _ProgressiveMember:
         if not failing:
             self.solved_all = True
             self.finished = True
+            event("campaign.solved", seed=self.seed, phase=self.phase)
             return
         # Fold the worst *new* failing corner into the active set (frozen
         # dataclass identity, not the rounded display name).
@@ -255,15 +292,34 @@ class _ProgressiveMember:
             # The search itself could not satisfy the active set; more
             # phases would re-run the same problem.
             self.finished = True
+            event(
+                "campaign.finished",
+                seed=self.seed,
+                phase=self.phase,
+                reason="no-new-failing-corner",
+            )
             return
         if self.phase == self.max_phases - 1:
             # No further phase will run, so don't report a corner that was
             # never actually folded into a searched constraint set.
             self.finished = True
+            event(
+                "campaign.finished",
+                seed=self.seed,
+                phase=self.phase,
+                reason="max-phases",
+            )
             return
         self.active = self.active + [new_failures[0]]
         self.phase += 1
         self._state = "search"
+        event(
+            "campaign.phase",
+            seed=self.seed,
+            phase=self.phase,
+            folded_corner=new_failures[0].name,
+            active_corners=len(self.active),
+        )
         self.optimizer = self._build_optimizer()
 
     def build_result(self) -> ProgressiveResult:
@@ -275,6 +331,10 @@ class _ProgressiveMember:
             corner_reports=self.corner_reports,
             phase_results=self.phase_results,
             active_corners=self.active,
+            eval_seconds=self.eval_seconds,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            engine_calls=self.engine_calls,
         )
 
 
@@ -357,59 +417,133 @@ class Campaign:
         ]
         self.rounds = 0
 
+    def _counters(self) -> Tuple[int, int, int, float]:
+        cache = self.cache
+        return cache.hits, cache.misses, cache.engine_calls, cache.eval_seconds
+
+    def _evaluate_for(
+        self,
+        member: _ProgressiveMember,
+        rows: np.ndarray,
+        corners: List[PVTCondition],
+    ) -> np.ndarray:
+        """Evaluate one member's own request, attributing the exact deltas.
+
+        Every cache counter moved by this call belongs to ``member`` alone,
+        so the attribution is the plain before/after difference — for a
+        single-seed campaign this reproduces exactly the accounting the
+        historical sequential loop reported.
+        """
+        hits0, misses0, calls0, seconds0 = self._counters()
+        with profiled(
+            "campaign.evaluate",
+            seed=member.seed,
+            phase=member.phase,
+            rows=int(rows.shape[0]),
+            corners=len(corners),
+        ) as timer:
+            block = self.cache.evaluate(rows, corners)
+            hits, misses, calls, seconds = self._counters()
+            timer.annotate(hits=hits - hits0, misses=misses - misses0)
+        member.account(hits - hits0, misses - misses0, calls - calls0, seconds - seconds0)
+        return block
+
+    def _run_group(
+        self,
+        grouped: List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]],
+    ) -> None:
+        """One stacked tensor pass for members sharing a corner set.
+
+        Attribution of the shared pass: each member's misses are its own
+        fresh ``(row, corner)`` pairs, peeked **before** the pass mutates
+        the store — the stacked block's fresh rows are exactly the union of
+        the members' fresh rows, so the decomposition is exact.  The engine
+        wall time splits proportionally to miss share, and the single
+        engine call books to every member with fresh pairs (a shared call
+        serves several seeds, so per-seed ``engine_calls`` can sum to more
+        than the campaign-wide counter).
+        """
+        cache = self.cache
+        corners = grouped[0][2]
+        n_corners = len(corners)
+        fresh_counts = [
+            cache.fresh_row_count(rows, corners) for _, rows, _ in grouped
+        ]
+        total_fresh = sum(fresh_counts)
+        hits0, misses0, calls0, seconds0 = self._counters()
+        with profiled(
+            "campaign.pass",
+            members=len(grouped),
+            corners=n_corners,
+            seeds=[m.seed for m, _, _ in grouped],
+        ) as timer:
+            # One stack per round is the whole point — it buys a single
+            # large evaluator call.
+            # analysis: allow(hot-loop-alloc) intentional per-round stack
+            cache.evaluate(np.vstack([rows for _, rows, _ in grouped]), corners)
+            hits, misses, calls, seconds = self._counters()
+            timer.annotate(hits=hits - hits0, misses=misses - misses0)
+        pass_calls = calls - calls0
+        pass_seconds = seconds - seconds0
+        for (member, rows, _), fresh in zip(grouped, fresh_counts):
+            member.account(
+                (rows.shape[0] - fresh) * n_corners,
+                fresh * n_corners,
+                pass_calls if fresh else 0,
+                pass_seconds * (fresh / total_fresh) if total_fresh else 0.0,
+            )
+        # Scatter: per-member re-reads are all cache hits, attributed
+        # exactly like lone requests.
+        for member, rows, _ in grouped:
+            member.receive(self._evaluate_for(member, rows, corners))
+
     def run(self) -> CampaignResult:
         """Run all seeds to completion in lockstep evaluation rounds."""
         cache = self.cache
-        while True:
-            requests: List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]] = []
-            for member in self._members:
-                pending = member.request()
-                if pending is not None:
-                    requests.append((member, pending[0], pending[1]))
-            if not requests:
-                break
-            self.rounds += 1
-            # Requests are grouped by their exact corner set, and each
-            # group rides one stacked tensor pass.  Grouping (rather than
-            # evaluating everything at the union of all corner sets) keeps
-            # the computed (row, corner) pairs exactly what the members
-            # asked for — a seed verifying over the full grid never drags
-            # other seeds' search batches through corners they don't need.
-            # Per (row, corner) the stacked engine is bit-identical however
-            # the pass is batched, so the scatter serves exact values.
-            groups: "OrderedDict[Tuple[PVTCondition, ...], List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]]]" = (
-                OrderedDict()
-            )
-            for request in requests:
-                groups.setdefault(tuple(request[2]), []).append(request)
-            for grouped in groups.values():
-                if len(grouped) == 1:
-                    # Lone request: evaluate directly, which keeps the call
-                    # sequence (and so the cache accounting) identical to
-                    # the historical sequential loop.
-                    member, rows, corners = grouped[0]
-                    member.receive(cache.evaluate(rows, corners))
-                    continue
-                corners = grouped[0][2]
-                # One stack per round is the whole point — it buys a single
-                # large evaluator call.
-                # analysis: allow(hot-loop-alloc) intentional per-round stack
-                cache.evaluate(np.vstack([rows for _, rows, _ in grouped]), corners)
-                for member, rows, _ in grouped:
-                    member.receive(cache.evaluate(rows, corners))
-        results = []
-        single = len(self._members) == 1
-        for member in self._members:
-            result = member.build_result()
-            if single:
-                # Exactly the per-seed accounting the sequential loop
-                # reported; with several seeds sharing tensor passes the
-                # split is not seed-separable and lives on CampaignResult.
-                result.eval_seconds = cache.eval_seconds
-                result.cache_hits = cache.hits
-                result.cache_misses = cache.misses
-                result.engine_calls = cache.engine_calls
-            results.append(result)
+        with profiled(
+            "campaign.run",
+            seeds=len(self._members),
+            optimizer=self.progressive.optimizer,
+            corners=len(self.ranked),
+        ):
+            while True:
+                requests: List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]] = []
+                for member in self._members:
+                    pending = member.request()
+                    if pending is not None:
+                        requests.append((member, pending[0], pending[1]))
+                if not requests:
+                    break
+                self.rounds += 1
+                # Requests are grouped by their exact corner set, and each
+                # group rides one stacked tensor pass.  Grouping (rather than
+                # evaluating everything at the union of all corner sets) keeps
+                # the computed (row, corner) pairs exactly what the members
+                # asked for — a seed verifying over the full grid never drags
+                # other seeds' search batches through corners they don't need.
+                # Per (row, corner) the stacked engine is bit-identical however
+                # the pass is batched, so the scatter serves exact values.
+                groups: "OrderedDict[Tuple[PVTCondition, ...], List[Tuple[_ProgressiveMember, np.ndarray, List[PVTCondition]]]]" = (
+                    OrderedDict()
+                )
+                for request in requests:
+                    groups.setdefault(tuple(request[2]), []).append(request)
+                with profiled(
+                    "campaign.round",
+                    round=self.rounds,
+                    requests=len(requests),
+                    groups=len(groups),
+                ):
+                    for grouped in groups.values():
+                        if len(grouped) == 1:
+                            # Lone request: evaluate directly, which keeps the
+                            # call sequence (and so the cache accounting)
+                            # identical to the historical sequential loop.
+                            member, rows, corners = grouped[0]
+                            member.receive(self._evaluate_for(member, rows, corners))
+                            continue
+                        self._run_group(grouped)
+        results = [member.build_result() for member in self._members]
         return CampaignResult(
             results=results,
             seeds=list(self.seeds),

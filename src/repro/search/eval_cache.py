@@ -25,13 +25,13 @@ wall time actually spent inside the wrapped evaluator.
 from __future__ import annotations
 
 import hashlib
-import time
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.analysis.contracts import ArraySpec, SeqLen, contract
 from repro.circuits.pvt import PVTCondition
+from repro.obs import event, profiled
 
 #: A corner evaluator maps ``(count, dim)`` sizings and a corner list to a
 #: ``(n_corners, count, n_metrics)`` metric block.
@@ -89,6 +89,21 @@ class EvaluationCache:
         width = self._key_width
         return [data[i * width : (i + 1) * width] for i in range(samples.shape[0])]
 
+    def fresh_row_count(self, samples: np.ndarray, corners: Sequence[PVTCondition]) -> int:
+        """How many rows :meth:`evaluate` would send to the engine right now.
+
+        A pure peek — no store is created or mutated, no counter moves —
+        used by the multi-seed Campaign to attribute a shared stacked
+        pass's misses to the member that caused them *before* the pass
+        itself updates the cache.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        keys = self._row_keys(samples)
+        stores = [self._store.get(corner) for corner in corners]
+        if any(store is None for store in stores):
+            return samples.shape[0]
+        return sum(1 for key in keys if any(key not in store for store in stores))
+
     @contract(
         args={"corners": SeqLen("c")},
         returns=ArraySpec("c", None, None),
@@ -125,17 +140,28 @@ class EvaluationCache:
             for i in range(count)
             if any(keys[i] not in store for store in stores)
         ]
-        self.hits += (count - len(fresh)) * len(corners)
-        self.misses += len(fresh) * len(corners)
+        hits = (count - len(fresh)) * len(corners)
+        misses = len(fresh) * len(corners)
+        self.hits += hits
+        self.misses += misses
+        event(
+            "eval_cache.evaluate",
+            rows=count,
+            corners=len(corners),
+            hits=hits,
+            misses=misses,
+        )
 
         out = np.empty((len(corners), count, self.n_metrics), dtype=np.float64)
         if fresh:
             self.engine_calls += 1
-            started = time.perf_counter()
-            block = np.asarray(
-                self._evaluate(samples[fresh], corners), dtype=np.float64
-            )
-            self.eval_seconds += time.perf_counter() - started
+            with profiled(
+                "eval_cache.engine", rows=len(fresh), corners=len(corners)
+            ) as timer:
+                block = np.asarray(
+                    self._evaluate(samples[fresh], corners), dtype=np.float64
+                )
+            self.eval_seconds += timer.seconds
             out[:, fresh, :] = block
             # The stored metric rows are views into this block; freezing it
             # makes every cached row immutable for the cache's lifetime.

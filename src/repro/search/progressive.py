@@ -130,15 +130,21 @@ class ProgressiveResult:
     phase_results: List[SearchResult] = field(default_factory=list)
     active_corners: List[PVTCondition] = field(default_factory=list)
     #: Wall time inside the true corner evaluator, across all phases and
-    #: verifications (the ``eval_seconds`` the benchmark records).  When
-    #: several campaign seeds share tensor passes this is not
-    #: seed-separable and stays zero here — see
-    #: :class:`~repro.search.campaign.CampaignResult` for the totals.
+    #: verifications (the ``eval_seconds`` the benchmark records).  Under a
+    #: multi-seed campaign a shared stacked pass's engine time is split
+    #: across the seeds proportionally to each seed's fresh (cache-missing)
+    #: pairs, so the per-seed values sum to the campaign-wide total on
+    #: :class:`~repro.search.campaign.CampaignResult`.
     eval_seconds: float = 0.0
-    #: Cross-phase evaluation-cache counters, per ``(row, corner)`` pair.
+    #: Cross-phase evaluation-cache counters, per ``(row, corner)`` pair —
+    #: exact per seed (a shared pass's pairs decompose exactly by who
+    #: requested them), summing to the campaign totals.
     cache_hits: int = 0
     cache_misses: int = 0
-    #: Invocations of the wrapped corner evaluator serving this search.
+    #: Invocations of the wrapped corner evaluator serving this search.  A
+    #: stacked pass shared by several seeds books one call to **every**
+    #: seed it computed fresh pairs for, so per-seed values can sum to more
+    #: than the campaign-wide counter.
     engine_calls: int = 0
 
     def failing_corners(self) -> List[PVTCondition]:

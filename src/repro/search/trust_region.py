@@ -38,13 +38,13 @@ step-for-step bit-identical to the autodiff reference — switching
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.design_space import DesignSpace
+from repro.obs import profiled
 from repro.nn.fused import FusedAdam, FusedMLP
 from repro.nn.modules import MLP
 from repro.nn.optim import Adam
@@ -173,7 +173,16 @@ class TrustRegionSearch(DatasetOptimizer):
 
     # ------------------------------------------------------------------
     def _refit_surrogate(self, epochs: int) -> None:
-        started = time.perf_counter()
+        with profiled(
+            "trust_region.refit",
+            epochs=epochs,
+            rows=self._count,
+            backend=self.config.backend,
+        ) as timer:
+            self._refit_surrogate_inner(epochs)
+        self.refit_seconds += timer.seconds
+
+    def _refit_surrogate_inner(self, epochs: int) -> None:
         metrics = self._M[: self._count]
         if self._surrogate is None:
             template = MLP(
@@ -202,7 +211,6 @@ class TrustRegionSearch(DatasetOptimizer):
             rng=self.rng,
             backend=self.config.backend,
         )
-        self.refit_seconds += time.perf_counter() - started
 
     def _rank_candidates(self, candidates: np.ndarray, keep: int) -> np.ndarray:
         """Indices of the predicted-best ``keep`` candidates, best first.

@@ -112,6 +112,28 @@ CORPUS = [
         "    return into\n",
     ),
     (
+        "ad-hoc-timing",
+        "import time\n"
+        "def measure(fn):\n"
+        "    t0 = time.perf_counter()\n"
+        "    fn()\n"
+        "    return time.perf_counter() - t0\n",
+        "from repro.obs import profiled\n"
+        "def measure(fn):\n"
+        "    with profiled('measure') as timer:\n"
+        "        fn()\n"
+        "    return timer.seconds\n",
+    ),
+    (
+        "ad-hoc-timing",
+        "from time import monotonic as clock\n"
+        "def stamp():\n"
+        "    return clock()\n",
+        "import time\n"
+        "def pause():\n"
+        "    time.sleep(0.01)\n",
+    ),
+    (
         "missing-parity-oracle",
         "class Fast:\n"
         "    def evaluate_corners(self, samples, corners):\n"
@@ -207,6 +229,23 @@ class TestScoping:
             "        return out\n"
         )
         assert lint_with("corner-python-loop", source) == []
+
+    def test_ad_hoc_timing_allowed_inside_repro_obs(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.perf_counter()\n"
+        )
+        sanctioned = lint_with(
+            "ad-hoc-timing", source, path="src/repro/obs/tracer.py"
+        )
+        elsewhere = lint_with(
+            "ad-hoc-timing", source, path="src/repro/search/campaign.py"
+        )
+        in_tests = lint_with(
+            "ad-hoc-timing", source, path="tests/test_example.py"
+        )
+        assert not sanctioned and not in_tests and elsewhere
 
     def test_out_kwarg_exempts_alloc_rule(self):
         source = (

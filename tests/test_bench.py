@@ -100,6 +100,8 @@ class TestRunner:
         assert eval_block["engine_calls"] > 0
         assert eval_block["rounds"] >= eval_block["engine_calls"]
         assert eval_block["cache_misses"] > 0
+        # Telemetry is only populated under tracing (--trace / REPRO_TRACE).
+        assert tiny_result["telemetry"] is None
         assert len(tiny_result["per_seed"]) == 2
         for record in tiny_result["per_seed"]:
             assert set(record) == {
@@ -107,12 +109,19 @@ class TestRunner:
                 "solved",
                 "evaluations",
                 "refit_seconds",
+                "eval_seconds",
+                "cache_hits",
+                "cache_misses",
+                "engine_calls",
                 "phases",
                 "failing_corners",
                 "best_sizing",
             }
             assert record["evaluations"] > 0
             assert record["refit_seconds"] >= 0.0
+            assert record["eval_seconds"] >= 0.0
+            assert record["cache_misses"] > 0
+            assert record["engine_calls"] >= 1
             # A solved seed has no failing corners (and vice versa the list
             # names exactly the corners that sank an unsolved one).
             if record["solved"]:
@@ -138,7 +147,7 @@ class TestRunner:
 
     def test_suite_payload_and_artifact(self, tmp_path):
         payload = run_suite("tiny", seeds=[0])
-        assert payload["schema"] == SCHEMA == "repro.bench/v4"
+        assert payload["schema"] == SCHEMA == "repro.bench/v5"
         assert payload["suite"] == "tiny"
         assert payload["seeds"] == [0]
         assert payload["backend"] == "fused"
@@ -296,8 +305,18 @@ class TestCampaignExecution:
         sequential = run_case(case, seeds=[0, 1, 2], execution="sequential")
 
         def trajectory(record):
-            # Everything except refit_seconds, which is wall time (noisy).
-            return {k: v for k, v in record.items() if k != "refit_seconds"}
+            # Everything except wall times (noisy) and cache accounting
+            # (the campaign shares one cache across seeds, so per-seed
+            # hit/miss/engine-call splits legitimately differ from the
+            # fresh-cache-per-seed sequential loop).
+            excluded = {
+                "refit_seconds",
+                "eval_seconds",
+                "cache_hits",
+                "cache_misses",
+                "engine_calls",
+            }
+            return {k: v for k, v in record.items() if k not in excluded}
 
         assert [trajectory(r) for r in campaign["per_seed"]] == [
             trajectory(r) for r in sequential["per_seed"]
@@ -333,17 +352,18 @@ class TestCrossCheck:
 
         assert cross_check("tiny") == 0
         out = capsys.readouterr().out
-        assert "parity OK" in out
+        assert "cross-check PASS" in out
 
     def test_cli_cross_check_flag(self, capsys):
         assert bench_main(["--cross-check", "--suite", "tiny"]) == 0
-        assert "parity OK" in capsys.readouterr().out
+        assert "cross-check PASS" in capsys.readouterr().out
 
     def test_cli_cross_check_rejects_ignored_flags(self):
         """Flags the guard would silently drop must be an error instead."""
         for extra in (["--seeds", "5"], ["--output", "x.json"],
                       ["--backend", "autodiff"], ["--fail-under", "1.0"],
-                      ["--corner-engine", "looped"], ["--optimizer", "random"]):
+                      ["--corner-engine", "looped"], ["--optimizer", "random"],
+                      ["--trace", "t.jsonl"]):
             with pytest.raises(SystemExit):
                 bench_main(["--cross-check", "--suite", "tiny"] + extra)
 
