@@ -49,7 +49,10 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
     from repro.analysis.determinism import audit_suite
 
     module_logger.info(
-        "auditing suite %r twice in-process with %d seed(s)", args.suite, args.seeds
+        "auditing suite %r twice in-process with %d seed(s)%s",
+        args.suite,
+        args.seeds,
+        ", resume-parity mode" if args.resume_parity else "",
     )
     report = audit_suite(
         suite=args.suite,
@@ -58,6 +61,7 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
         corner_engine=args.corner_engine,
         optimizer=args.optimizer,
         with_contracts=not args.no_contracts,
+        resume_parity=args.resume_parity,
     )
     print(report.format())
     return 0 if report.ok else 1
@@ -127,6 +131,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--optimizer",
         default=None,
         help="search-strategy override for every case",
+    )
+    determinism.add_argument(
+        "--resume-parity",
+        action="store_true",
+        help="second run resumes a fresh campaign from the first run's "
+        "mid-round snapshot instead of starting cold — the same byte-diff "
+        "then gates checkpoint/resume bit-exactness",
     )
     determinism.add_argument(
         "--no-contracts",

@@ -16,12 +16,22 @@ dependence, an uninitialised buffer read, a mutated cached array — shows up
 as a fingerprint mismatch.  Contracts (``repro.analysis.contracts``) are
 enabled for the audited runs by default, so shape violations and aliasing
 mutations fault loudly instead of corrupting the comparison.
+
+**Resume-parity mode** (``--resume-parity``) swaps the second run for a
+kill-and-resume one: the first run checkpoints every round
+(:meth:`Campaign.run` with ``keep_history=True``), the second starts a
+fresh campaign and resumes it from the mid-run snapshot.  The same
+byte-diff then proves a resumed campaign is bit-identical to the
+uninterrupted one — including the cache content digest *and* the hit/miss
+accounting, which snapshot restore carries exactly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -31,30 +41,18 @@ from repro.analysis.contracts import contracts
 _TIMING_FIELDS = ("refit_seconds", "eval_seconds", "wall_seconds")
 
 
-def _case_fingerprint(
-    case: Any,
-    seeds: Sequence[int],
-    backend: Optional[str],
-    corner_engine: Optional[str],
-    optimizer: Optional[str],
+def fingerprint_outcome(
+    outcome: Any, cache_digest: str, seeds: Sequence[int]
 ) -> Dict[str, Any]:
-    """Run one bench case once; everything deterministic, nothing timed."""
-    from repro.search.sizing import build_campaign
+    """Deterministic fingerprint of a :class:`CampaignResult`.
 
-    campaign = build_campaign(
-        case.topology,
-        technology=case.technology,
-        load_cap=case.load_cap,
-        tier=case.tier,
-        corners=case.corners(),
-        config=case.config(seeds[0]),
-        seeds=list(seeds),
-        backend=backend,
-        corner_engine=corner_engine,
-        optimizer=optimizer if optimizer is not None else case.optimizer,
-        max_phases=case.max_phases,
-    )
-    outcome = campaign.run()
+    Everything behavioural, nothing timed: per-seed trajectories (with the
+    raw ``best_vector`` bytes hashed), campaign-wide evaluation accounting,
+    and the full cache-content digest.  Shared by the double-run auditor
+    and the resilience drill so "bit-identical" means the same bytes in
+    both gates.  ``resumed_from_round`` is deliberately absent — it is the
+    one field a resumed run legitimately differs on.
+    """
     per_seed: List[Dict[str, Any]] = []
     for seed, result in zip(seeds, outcome.results):
         record = result.to_dict()
@@ -71,8 +69,31 @@ def _case_fingerprint(
         "engine_calls": outcome.engine_calls,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,
-        "cache_sha256": campaign.cache.state_digest(),
+        "cache_sha256": cache_digest,
     }
+
+
+def _run_fingerprint(
+    case: Any,
+    seeds: Sequence[int],
+    backend: Optional[str],
+    corner_engine: Optional[str],
+    optimizer: Optional[str],
+    checkpoint_dir: Optional[str] = None,
+    keep_history: bool = False,
+    resume_from: Optional[str] = None,
+) -> Tuple[Dict[str, Any], int]:
+    """Run one bench case once; returns (fingerprint, rounds run)."""
+    campaign = case.build_campaign(
+        seeds, backend=backend, corner_engine=corner_engine, optimizer=optimizer
+    )
+    outcome = campaign.run(
+        checkpoint_dir=checkpoint_dir,
+        keep_history=keep_history,
+        resume_from=resume_from,
+    )
+    digest = campaign.cache.state_digest()
+    return fingerprint_outcome(outcome, digest, seeds), outcome.rounds
 
 
 def _first_divergence(first: Any, second: Any, path: str = "$") -> str:
@@ -120,15 +141,22 @@ class AuditReport:
     suite: str
     seeds: Tuple[int, ...]
     cases: Tuple[CaseAudit, ...]
+    #: ``"double-run"`` or ``"resume-parity"`` (what the second run was).
+    mode: str = "double-run"
 
     @property
     def ok(self) -> bool:
         return all(case.identical for case in self.cases)
 
     def format(self) -> str:
+        comparison = (
+            "double-run byte-diff"
+            if self.mode == "double-run"
+            else "uninterrupted vs mid-run-resumed byte-diff"
+        )
         lines = [
             f"determinism audit: suite {self.suite!r}, seeds {list(self.seeds)}, "
-            f"double-run byte-diff"
+            f"{comparison}"
         ]
         lines.extend(case.format() for case in self.cases)
         verdict = "all runs byte-identical" if self.ok else "NONDETERMINISM DETECTED"
@@ -143,12 +171,39 @@ def audit_case(
     corner_engine: Optional[str] = None,
     optimizer: Optional[str] = None,
     with_contracts: bool = True,
+    resume_parity: bool = False,
 ) -> CaseAudit:
-    """Run one case twice in-process and byte-compare the fingerprints."""
+    """Run one case twice in-process and byte-compare the fingerprints.
+
+    With ``resume_parity`` the second run resumes a fresh campaign from
+    the first run's mid-round snapshot instead of starting cold, turning
+    the same byte-diff into the checkpoint/resume correctness gate.
+    """
     seeds = [int(seed) for seed in seeds]
     with contracts(with_contracts):
-        first = _case_fingerprint(case, seeds, backend, corner_engine, optimizer)
-        second = _case_fingerprint(case, seeds, backend, corner_engine, optimizer)
+        if resume_parity:
+            with tempfile.TemporaryDirectory(prefix="repro-audit-") as ckpt_dir:
+                first, rounds = _run_fingerprint(
+                    case,
+                    seeds,
+                    backend,
+                    corner_engine,
+                    optimizer,
+                    checkpoint_dir=ckpt_dir,
+                    keep_history=True,
+                )
+                mid = max(1, rounds // 2)
+                second, _ = _run_fingerprint(
+                    case,
+                    seeds,
+                    backend,
+                    corner_engine,
+                    optimizer,
+                    resume_from=os.path.join(ckpt_dir, f"round-{mid:05d}.snapshot"),
+                )
+        else:
+            first, _ = _run_fingerprint(case, seeds, backend, corner_engine, optimizer)
+            second, _ = _run_fingerprint(case, seeds, backend, corner_engine, optimizer)
     first_bytes = json.dumps(first, sort_keys=True).encode("utf-8")
     second_bytes = json.dumps(second, sort_keys=True).encode("utf-8")
     identical = first_bytes == second_bytes
@@ -167,6 +222,7 @@ def audit_suite(
     corner_engine: Optional[str] = None,
     optimizer: Optional[str] = None,
     with_contracts: bool = True,
+    resume_parity: bool = False,
 ) -> AuditReport:
     """Audit every case of a bench suite; see :class:`AuditReport`."""
     from repro.bench.registry import get_suite
@@ -182,7 +238,9 @@ def audit_suite(
                 corner_engine=corner_engine,
                 optimizer=optimizer,
                 with_contracts=with_contracts,
+                resume_parity=resume_parity,
             )
             for case in get_suite(suite)
         ),
+        mode="resume-parity" if resume_parity else "double-run",
     )

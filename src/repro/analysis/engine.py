@@ -59,6 +59,10 @@ class AnalysisConfig:
     #: Modules sanctioned to read wall clocks directly (the observability
     #: layer everything else is expected to time through).
     timing_modules: Tuple[str, ...] = ("repro/obs/",)
+    #: Modules sanctioned to open files in write mode directly (the atomic
+    #: write-temp + fsync + rename helpers everything else routes through,
+    #: and the CRC-framed append-only cache store).
+    durable_write_modules: Tuple[str, ...] = ("repro/resilience/",)
     #: Restrict linting to these rule ids (``None`` = all registered rules).
     select: Optional[Tuple[str, ...]] = None
 
@@ -69,6 +73,10 @@ class AnalysisConfig:
     def is_timing_module(self, path: str) -> bool:
         normalized = path.replace(os.sep, "/")
         return any(marker in normalized for marker in self.timing_modules)
+
+    def is_durable_write_module(self, path: str) -> bool:
+        normalized = path.replace(os.sep, "/")
+        return any(marker in normalized for marker in self.durable_write_modules)
 
     def is_test_path(self, path: str) -> bool:
         normalized = path.replace(os.sep, "/")
@@ -102,6 +110,10 @@ class ModuleSource:
     @property
     def is_timing_module(self) -> bool:
         return self.config.is_timing_module(self.path)
+
+    @property
+    def is_durable_write_module(self) -> bool:
+        return self.config.is_durable_write_module(self.path)
 
     def allowed_rules(self, line: int) -> Set[str]:
         """Rule ids suppressed at ``line`` (pragma there or on the line above)."""

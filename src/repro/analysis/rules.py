@@ -567,6 +567,60 @@ class AdHocTimingRule(LintRule):
                 )
 
 
+@register_rule
+class NonAtomicArtifactWriteRule(LintRule):
+    """Artifact writes go through :mod:`repro.resilience.atomic`.
+
+    A raw ``open(path, "w")`` truncates the destination before the new
+    content exists — a crash mid-dump leaves a half-written (or empty)
+    BENCH JSON, trace, or snapshot where a complete previous version used
+    to be.  The atomic helpers (write-temp + fsync + ``os.replace``) make
+    every committed artifact all-or-nothing, so library code outside
+    ``repro/resilience/`` must not open files in a write/append mode
+    directly.  Deliberate streaming sinks (e.g. the tracer's ``.partial``
+    sidecar, finalized by rename on close) take a pragma.
+    """
+
+    id = "non-atomic-artifact-write"
+    summary = "raw open(..., 'w'/'a') outside repro/resilience (use atomic_write_*)"
+
+    #: Mode characters that truncate or mutate the destination in place.
+    WRITE_CHARS = frozenset("wax+")
+
+    def _write_mode(self, node: ast.Call) -> Optional[str]:
+        """The call's constant mode string when it writes, else ``None``."""
+        mode: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+            return None
+        if self.WRITE_CHARS & set(mode.value):
+            return mode.value
+        return None
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test or module.is_durable_write_module:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] not in ("open", "fdopen"):
+                continue
+            mode = self._write_mode(node)
+            if mode is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"open(..., {mode!r}) writes an artifact non-atomically; "
+                    "a crash mid-write leaves a torn file — route through "
+                    "repro.resilience.atomic (atomic_write_bytes/text/json)",
+                )
+
+
 def iter_rules(select: Optional[Iterable[str]] = None) -> List[LintRule]:
     """Instantiate the selected rules (all registered rules by default)."""
     ids = available_rules() if select is None else list(select)

@@ -15,7 +15,7 @@ Third-party workloads can extend the registry::
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.pvt import (
     NOMINAL,
@@ -27,6 +27,9 @@ from repro.circuits.pvt import (
 from repro.circuits.topologies import SPEC_TIERS
 from repro.search.optimizer import available_optimizers
 from repro.search.trust_region import TrustRegionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.campaign import Campaign
 
 #: Named sign-off corner sets a case can request.
 CORNER_SETS: Dict[str, Callable[[], List[PVTCondition]]] = {
@@ -94,6 +97,12 @@ class BenchCase:
         ]
         return base + (f"@{','.join(extras)}" if extras else "")
 
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe variant of :attr:`name` for per-case artifact
+        directories (checkpoints, persistent caches, drill workdirs)."""
+        return self.name.replace("/", "_").replace("@", "_").replace(",", "_")
+
     def corners(self) -> List[PVTCondition]:
         return CORNER_SETS[self.corner_set]()
 
@@ -104,6 +113,42 @@ class BenchCase:
         library defaults so benchmark numbers track the defaults users get.
         """
         return TrustRegionConfig(seed=seed, max_evaluations=self.max_evaluations)
+
+    def build_campaign(
+        self,
+        seeds: Sequence[int],
+        backend: Optional[str] = None,
+        corner_engine: Optional[str] = None,
+        optimizer: Optional[str] = None,
+        cache_path: Optional[str] = None,
+    ) -> "Campaign":
+        """The ready-to-run multi-seed :class:`Campaign` for this case.
+
+        Exactly the construction the bench runner's campaign execution
+        path performs, factored here so the resilience drill and the
+        determinism auditor rebuild byte-identical campaigns from a case
+        alone.  Overrides follow :func:`repro.search.sizing.build_campaign`
+        semantics (``None`` defers to the case, then the library default).
+        """
+        # Imported lazily: repro.search.sizing pulls in the topology zoo,
+        # which this registry module must not import at module level.
+        from repro.search.sizing import build_campaign
+
+        seeds = [int(seed) for seed in seeds]
+        return build_campaign(
+            self.topology,
+            technology=self.technology,
+            load_cap=self.load_cap,
+            tier=self.tier,
+            corners=self.corners(),
+            config=self.config(seeds[0] if seeds else 0),
+            seeds=seeds,
+            cache_path=cache_path,
+            backend=backend,
+            corner_engine=corner_engine,
+            optimizer=optimizer if optimizer is not None else self.optimizer,
+            max_phases=self.max_phases,
+        )
 
 
 _SUITES: Dict[str, List[BenchCase]] = {
@@ -141,6 +186,15 @@ _SUITES: Dict[str, List[BenchCase]] = {
     # Single fast case for unit tests and bisection.
     "tiny": [
         BenchCase("ota_5t", "smoke", "nominal", max_evaluations=200, max_phases=1),
+    ],
+    # Kill-and-resume drill workload (python -m repro.resilience drill): a
+    # fast case hard enough that the Monte-Carlo seed does NOT solve it, so
+    # the surrogate refit loop runs and every registered fault site
+    # (cache.append, engine.call, optimizer.refit, snapshot.write) is
+    # reached within the first few occurrences.  The tiny case solves
+    # during initial sampling and never refits — useless for drilling.
+    "drill": [
+        BenchCase("ota_5t", "nominal", "hardest", max_evaluations=120, max_phases=1),
     ],
     # Corner-axis scaling: the same workload signed off on the 9-corner grid
     # and on the full 45-corner grid, so BENCH artifacts track how the

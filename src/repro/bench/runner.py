@@ -17,18 +17,19 @@ run in lockstep rounds sharing single stacked ``evaluate_corners`` passes
 (far fewer, larger evaluator calls), bit-exact per seed versus
 ``--execution sequential``, the one-seed-at-a-time oracle path.
 
-The JSON artifact schema is ``repro.bench/v5`` (see README "Benchmarking").
-Relative to v4 it restores the per-seed evaluation accounting
-(``eval_seconds``/``cache_hits``/``cache_misses``/``engine_calls``), now
-attributed exactly per seed even under shared campaign tensor passes, and
-adds a per-case ``telemetry`` block — per-span-name count/seconds rollups
-from :mod:`repro.obs` — populated when the run traces (``--trace PATH`` or
-``REPRO_TRACE``), ``null`` otherwise:
+The JSON artifact schema is ``repro.bench/v6`` (see README "Benchmarking").
+Relative to v5 it adds a per-case ``resilience`` block — the round the
+campaign resumed from (``--resume``, ``null`` for uninterrupted runs) and
+the persistent evaluation-cache accounting (``--cache-dir``: store path,
+pairs preloaded from disk, warm/cold hit split, bytes trimmed repairing a
+torn tail; ``null`` without a store) — and the artifact itself is written
+atomically (temp file + fsync + rename), so a crashed run never leaves a
+half-written BENCH JSON:
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v5",
+      "schema": "repro.bench/v6",
       "suite": "smoke",
       "seeds": [0, 1, 2],
       "backend": "fused",
@@ -47,6 +48,11 @@ from :mod:`repro.obs` — populated when the run traces (``--trace PATH`` or
           "refit_seconds": 0.12, "eval_seconds": 0.01, "wall_seconds": 0.2,
           "eval": {"engine_calls": 31, "rounds": 29,
                    "cache_hits": 27, "cache_misses": 9486},
+          "resilience": {"resumed_from_round": null,
+                         "cache": {"path": "cache/two_stage.evc",
+                                   "preloaded_pairs": 9486,
+                                   "warm_hits": 9486, "cold_hits": 27,
+                                   "repaired_bytes": 0}},
           "telemetry": {"spans": {"trust_region.refit":
                                   {"count": 54, "seconds": 0.12}},
                         "events": {"campaign.solved": 3}},
@@ -64,8 +70,8 @@ from :mod:`repro.obs` — populated when the run traces (``--trace PATH`` or
 
 from __future__ import annotations
 
-import json
 import logging
+import os
 from dataclasses import replace
 from statistics import median
 from typing import Any, Dict, List, Optional, Sequence
@@ -80,11 +86,12 @@ from repro.circuits.topologies import available_topologies, get_topology
 from repro.circuits.topologies.base import SPEC_TIERS
 from repro.obs import diff_snapshots, get_tracer, profiled, tracing, tracing_enabled
 from repro.obs.logs import add_logging_flags, configure_cli_logging
+from repro.resilience import atomic_write_json
 from repro.search.optimizer import available_optimizers
 from repro.search.progressive import ProgressiveConfig, ProgressiveResult
-from repro.search.sizing import build_campaign, size_problem
+from repro.search.sizing import size_problem
 
-SCHEMA = "repro.bench/v5"
+SCHEMA = "repro.bench/v6"
 
 module_logger = logging.getLogger(__name__)
 
@@ -136,6 +143,9 @@ def run_case(
     corner_engine: Optional[str] = None,
     optimizer: Optional[str] = None,
     execution: str = "campaign",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one benchmark case across seeds and aggregate the statistics.
 
@@ -144,11 +154,25 @@ def run_case(
     the library defaults).  ``execution`` selects the multi-seed
     vectorized campaign (default) or the sequential per-seed oracle; the
     two are bit-exact per seed and differ only in evaluator batching.
+
+    The resilience options are campaign-execution only.  ``checkpoint_dir``
+    snapshots the campaign under ``<dir>/<case-slug>/`` after every round;
+    ``resume=True`` restores from that snapshot first (a resumed run is
+    bit-identical to an uninterrupted one); ``cache_dir`` persists the
+    evaluation cache at ``<dir>/<case-slug>.evc`` for cross-process warm
+    starts.
     """
     if execution not in EXECUTIONS:
         raise ValueError(
             f"unknown execution {execution!r}; available: {', '.join(EXECUTIONS)}"
         )
+    if execution != "campaign" and (checkpoint_dir or resume or cache_dir):
+        raise ValueError(
+            "checkpoint/resume/cache-dir need the campaign execution; the "
+            "sequential oracle path has no round boundaries to snapshot at"
+        )
+    if resume and not checkpoint_dir:
+        raise ValueError("resume=True needs checkpoint_dir")
     problem_cls = get_topology(case.topology)
     design_dims = len(problem_cls.VARIABLE_NAMES)
     seeds = [int(seed) for seed in seeds]
@@ -168,20 +192,43 @@ def run_case(
         "bench.run_case", case=case.name, topology=case.topology, tier=case.tier
     ) as wall_timer:
         if execution == "campaign":
-            campaign = build_campaign(
-                case.topology,
-                technology=case.technology,
-                load_cap=case.load_cap,
-                tier=case.tier,
-                corners=case.corners(),
-                config=case.config(seeds[0] if seeds else 0),
-                seeds=seeds,
+            cache_path = (
+                os.path.join(cache_dir, f"{case.slug}.evc") if cache_dir else None
+            )
+            if cache_dir:
+                os.makedirs(cache_dir, exist_ok=True)
+            case_checkpoint = (
+                os.path.join(checkpoint_dir, case.slug) if checkpoint_dir else None
+            )
+            campaign = case.build_campaign(
+                seeds,
                 backend=backend,
                 corner_engine=corner_engine,
                 optimizer=effective_optimizer,
-                max_phases=case.max_phases,
+                cache_path=cache_path,
             )
-            outcome = campaign.run()
+            try:
+                outcome = campaign.run(
+                    checkpoint_dir=case_checkpoint,
+                    resume_from=case_checkpoint if resume else None,
+                )
+                cache = campaign.cache
+                resilience: Dict[str, Any] = {
+                    "resumed_from_round": outcome.resumed_from_round,
+                    "cache": (
+                        {
+                            "path": cache_path,
+                            "preloaded_pairs": cache.preloaded_pairs,
+                            "warm_hits": cache.warm_hits,
+                            "cold_hits": cache.cold_hits,
+                            "repaired_bytes": cache.repaired_bytes,
+                        }
+                        if cache_path
+                        else None
+                    ),
+                }
+            finally:
+                campaign.close()
             results = outcome.results
             eval_block: Dict[str, Any] = {
                 "engine_calls": outcome.engine_calls,
@@ -216,6 +263,7 @@ def run_case(
                 "cache_misses": sum(result.cache_misses for result in results),
             }
             eval_seconds = sum(result.eval_seconds for result in results)
+            resilience = {"resumed_from_round": None, "cache": None}
     wall = wall_timer.seconds
 
     per_seed = [_per_seed_record(seed, result) for seed, result in zip(seeds, results)]
@@ -239,6 +287,7 @@ def run_case(
         "eval_seconds": round(eval_seconds, 6),
         "wall_seconds": round(wall, 6),
         "eval": eval_block,
+        "resilience": resilience,
         "telemetry": _case_telemetry(metrics_before),
         "per_seed": per_seed,
     }
@@ -256,8 +305,11 @@ def run_suite(
     corner_engine: Optional[str] = None,
     optimizer: Optional[str] = None,
     execution: str = "campaign",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v5`` payload."""
+    """Run every case of a suite; returns the ``repro.bench/v6`` payload."""
     cases = get_suite(suite)
     module_logger.info("suite %r: %d case(s)", suite, len(cases))
     with profiled("bench.run_suite", suite=suite, cases=len(cases)) as wall_timer:
@@ -269,6 +321,9 @@ def run_suite(
                 corner_engine=corner_engine,
                 optimizer=optimizer,
                 execution=execution,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                cache_dir=cache_dir,
             )
             for case in cases
         ]
@@ -294,10 +349,13 @@ def run_suite(
 
 
 def write_bench_json(payload: Dict[str, Any], path: str) -> None:
-    """Write the payload as a stable, diff-friendly JSON artifact."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write the payload as a stable, diff-friendly JSON artifact.
+
+    Atomic (temp file + fsync + rename): readers — and the next run's
+    baseline diff — only ever see a complete artifact, even if the writer
+    dies mid-dump.
+    """
+    atomic_write_json(path, payload)
 
 
 #: The cross-check speed guard passes while the fused refit stays under
@@ -492,6 +550,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(render with 'python -m repro.obs report PATH'); also populates "
         "the per-case telemetry block in the artifact",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot each case's campaign under DIR/<case>/ after every "
+        "round (campaign execution only); a killed run resumes from there "
+        "with --resume, bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore each case from its --checkpoint-dir snapshot before "
+        "running (cases whose directory has no snapshot yet start cold)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist each case's evaluation cache at DIR/<case>.evc; "
+        "reruns over the same workload warm-start from disk (the per-case "
+        "resilience block reports the warm/cold hit split)",
+    )
     add_logging_flags(parser)
     args = parser.parse_args(argv)
     configure_cli_logging(quiet=args.quiet, verbose=args.verbose)
@@ -516,11 +596,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--corner-engine", args.corner_engine),
                 ("--optimizer", args.optimizer),
                 ("--trace", args.trace),
+                ("--checkpoint-dir", args.checkpoint_dir),
+                ("--cache-dir", args.cache_dir),
             )
             if value is not None
         ]
         if args.fail_under:
             dropped.append("--fail-under")
+        if args.resume:
+            dropped.append("--resume")
         if dropped:
             parser.error(f"--cross-check does not accept {', '.join(dropped)}")
         return cross_check(args.suite)
@@ -530,6 +614,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--seeds must be at least 1")
     if not 0.0 <= args.fail_under <= 1.0:
         parser.error("--fail-under must be within [0, 1]")
+    if args.execution != "campaign" and (
+        args.checkpoint_dir or args.resume or args.cache_dir
+    ):
+        parser.error(
+            "--checkpoint-dir/--resume/--cache-dir need --execution campaign"
+        )
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume needs --checkpoint-dir")
 
     def _run() -> Dict[str, Any]:
         return run_suite(
@@ -539,6 +631,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             corner_engine=args.corner_engine,
             optimizer=args.optimizer,
             execution=args.execution,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            cache_dir=args.cache_dir,
         )
 
     if args.trace:

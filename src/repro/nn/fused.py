@@ -388,6 +388,22 @@ class FusedAdam:
         self._s2 = np.empty_like(self.theta)
         self._t = 0
 
+    def state_dict(self) -> Dict[str, object]:
+        """The optimizer moments and step count, for checkpoint/resume."""
+        return {"t": self._t, "m": self._m.copy(), "v": self._v.copy()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output (flat shapes must match)."""
+        for name, source in (("m", state["m"]), ("v", state["v"])):
+            if source.shape != self.theta.shape:
+                raise ValueError(
+                    f"moment {name!r} has shape {source.shape}, "
+                    f"theta is {self.theta.shape}"
+                )
+        self._m[...] = state["m"]
+        self._v[...] = state["v"]
+        self._t = int(state["t"])
+
     def step(self, grad: np.ndarray) -> None:
         """Apply one Adam update for the given flat gradient."""
         if grad.shape != self.theta.shape:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -72,6 +72,27 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        """The optimizer moments and step count, for checkpoint/resume."""
+        return {
+            "t": self._t,
+            "m": [moment.copy() for moment in self._m],
+            "v": [moment.copy() for moment in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output (shapes must match)."""
+        if len(state["m"]) != len(self._m):
+            raise ValueError(
+                f"state has {len(state['m'])} moment arrays, "
+                f"optimizer has {len(self._m)} parameters"
+            )
+        for target, source in zip(self._m, state["m"]):
+            target[...] = source
+        for target, source in zip(self._v, state["v"]):
+            target[...] = source
+        self._t = int(state["t"])
 
     def step(self) -> None:
         self._t += 1

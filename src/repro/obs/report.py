@@ -21,17 +21,28 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace file into record dicts (blank lines skipped)."""
+    """Parse a JSONL trace file into record dicts (blank lines skipped).
+
+    A torn **final** line is tolerated and dropped: the tracer's sink is
+    line-buffered, so a killed writer leaves at most one partial record at
+    the tail (a ``.partial`` sidecar someone inspects after a crash).
+    Garbage anywhere else is still an error.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{lineno}: not a trace record: {error}") from None
+        lines = handle.readlines()
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError as error:
+            if lineno == len(lines):
+                break  # torn tail of a crashed writer
+            raise ValueError(
+                f"{path}:{lineno}: not a trace record: {error}"
+            ) from None
     return records
 
 

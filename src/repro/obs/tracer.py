@@ -97,7 +97,22 @@ class Tracer:
         self.emitted = 0
         self.metrics = MetricsRegistry()
         self.sink_path = sink
-        self._sink = open(sink, "w", encoding="utf-8") if sink else None
+        self._partial_path = sink + ".partial" if sink else None
+        # The sink streams line-buffered into a ``.partial`` sidecar, so a
+        # killed process leaves every completed record on disk (at worst one
+        # torn final line, which the loader tolerates); close() fsyncs and
+        # promotes it to the real path — readers of ``sink`` only ever see a
+        # finalized trace.
+        self._sink = (
+            # analysis: allow(non-atomic-artifact-write) streaming sink, finalized by close()
+            open(self._partial_path, "w", encoding="utf-8", buffering=1)
+            if sink
+            else None
+        )
+        if self._sink is not None:
+            # Belt and braces for sinks that outlive their scope (the
+            # REPRO_TRACE process tracer): finalize at interpreter exit.
+            atexit.register(self.close)
         self._ids = itertools.count(1)
         self._stack: List[int] = []
 
@@ -113,10 +128,28 @@ class Tracer:
             )
 
     def close(self) -> None:
-        """Flush and close the JSONL sink (the ring stays readable)."""
-        if self._sink is not None:
-            self._sink.close()
-            self._sink = None
+        """Finalize the JSONL sink (the ring stays readable); idempotent.
+
+        Flushes and fsyncs the ``.partial`` sidecar, then atomically
+        promotes it to :attr:`sink_path`.
+        """
+        if self._sink is None:
+            return
+        # Imported here, not at module level: repro.resilience's fault
+        # registry emits repro.obs events, so the package-level import
+        # would be circular.  close() is cold.
+        from repro.resilience.atomic import fsync_replace
+
+        sink = self._sink
+        self._sink = None
+        sink.flush()
+        try:
+            os.fsync(sink.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        sink.close()
+        fsync_replace(self._partial_path, self.sink_path)
+        atexit.unregister(self.close)
 
     # -- spans and events --------------------------------------------------
     def start(self, name: str, tags: Optional[Dict[str, Any]] = None) -> _SpanHandle:
@@ -180,9 +213,9 @@ def _env_sink() -> Tuple[bool, Optional[str]]:
 
 
 _ENABLED, _env_sink_path = _env_sink()
+# A sinked Tracer registers its own atexit finalizer, covering the
+# REPRO_TRACE process tracer here as well.
 _TRACER = Tracer(sink=_env_sink_path)
-if _env_sink_path is not None:
-    atexit.register(_TRACER.close)
 del _env_sink_path
 
 

@@ -1,0 +1,207 @@
+"""Append-only on-disk store behind the persistent EvaluationCache.
+
+One file per campaign workload, holding ``(corner tag, row key, metric
+row)`` records in append order:
+
+* **header** — magic + format version + the workload shape (sizing
+  dimension, metric count), CRC-protected.  Reopening a store with a
+  different shape is a hard error (it is a different workload, not a
+  recoverable state).
+* **records** — ``u32 payload length | payload | u32 crc32(payload)``
+  frames, where the payload is ``u16 tag length | corner tag | row key
+  (dimension * 8 bytes) | metric row (n_metrics * 8 bytes)``.  Keys and
+  rows are raw float64 buffers — the same bit-exact identities the
+  in-memory :class:`~repro.search.eval_cache.EvaluationCache` uses — so a
+  warm-started process serves byte-identical results.
+
+Because appends are the only mutation, a crash can damage the file in
+exactly one way: a torn final frame.  :meth:`CacheStore.open` scans the
+frames on reopen, and the first short read or CRC mismatch truncates the
+file back to the last good frame boundary (counted in
+:attr:`CacheStore.repaired_bytes`) — everything before it is intact by
+construction.  The ``cache.append`` fault site makes that failure mode
+testable on demand: when the armed plan fires there, the store writes a
+genuine half-frame and flushes it before the fault propagates, so the
+drill's resumed process exercises the real repair path, not a simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.resilience.faults import InjectedFault, fault_point, register_fault_site
+
+MAGIC = b"REPROEVC\x01"
+VERSION = 1
+
+_HEADER_BODY = struct.Struct("<HII")  # version, dimension, n_metrics
+_HEADER_CRC = struct.Struct("<I")
+_FRAME_LEN = struct.Struct("<I")
+_FRAME_CRC = struct.Struct("<I")
+_TAG_LEN = struct.Struct("<H")
+
+#: Size of the complete header on disk.
+HEADER_SIZE = len(MAGIC) + _HEADER_BODY.size + _HEADER_CRC.size
+
+SITE_CACHE_APPEND = register_fault_site("cache.append")
+
+
+class StoreError(RuntimeError):
+    """The store file belongs to a different workload or is not a store."""
+
+
+class CacheStore:
+    """Single-writer append-only record log with torn-tail repair.
+
+    Parameters
+    ----------
+    path:
+        Store file; created (with its parent directory) when missing.
+    dimension, n_metrics:
+        The workload shape fixing the key and metric-row byte widths.
+
+    Attributes
+    ----------
+    records:
+        The ``(tag, key, metrics)`` tuples that survived the opening scan,
+        in append order (later duplicates intentionally kept — the loader
+        replays them in order, so last-write-wins like the appends did).
+    repaired_bytes:
+        Bytes truncated off a torn tail at open (0 for a clean file).
+    """
+
+    def __init__(self, path: str, dimension: int, n_metrics: int) -> None:
+        self.path = path
+        self._key_width = int(dimension) * 8
+        self._row_width = int(n_metrics) * 8
+        self._dimension = int(dimension)
+        self._n_metrics = int(n_metrics)
+        self.records: List[Tuple[bytes, bytes, np.ndarray]] = []
+        self.repaired_bytes = 0
+        self._file = self._open()
+
+    # -- opening and repair --------------------------------------------
+    def _open(self):
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        if size < HEADER_SIZE:
+            # New store — or a creation that died before the header landed
+            # (nothing after a torn header can be valid, so start over).
+            self.repaired_bytes = size
+            handle = open(self.path, "wb")  # analysis: allow(non-atomic-artifact-write) append-only log, integrity via per-record CRCs
+            handle.write(self._header())
+            handle.flush()
+            os.fsync(handle.fileno())
+            return handle
+        handle = open(self.path, "r+b")
+        try:
+            self._validate_header(handle.read(HEADER_SIZE))
+            good_offset = self._scan(handle)
+        except StoreError:
+            handle.close()
+            raise
+        if good_offset < size:
+            handle.truncate(good_offset)
+            self.repaired_bytes = size - good_offset
+        handle.seek(good_offset)
+        return handle
+
+    def _header(self) -> bytes:
+        body = _HEADER_BODY.pack(VERSION, self._dimension, self._n_metrics)
+        return MAGIC + body + _HEADER_CRC.pack(zlib.crc32(body))
+
+    def _validate_header(self, header: bytes) -> None:
+        if not header.startswith(MAGIC):
+            raise StoreError(f"{self.path!r} is not an evaluation-cache store")
+        body = header[len(MAGIC) : len(MAGIC) + _HEADER_BODY.size]
+        (crc,) = _HEADER_CRC.unpack(header[len(MAGIC) + _HEADER_BODY.size :])
+        if zlib.crc32(body) != crc:
+            raise StoreError(f"{self.path!r} has a corrupt store header")
+        version, dimension, n_metrics = _HEADER_BODY.unpack(body)
+        if version != VERSION:
+            raise StoreError(
+                f"{self.path!r} is store format v{version}, expected v{VERSION}"
+            )
+        if dimension != self._dimension or n_metrics != self._n_metrics:
+            raise StoreError(
+                f"{self.path!r} was written for dimension={dimension}, "
+                f"n_metrics={n_metrics}; this workload has "
+                f"dimension={self._dimension}, n_metrics={self._n_metrics}"
+            )
+
+    def _scan(self, handle) -> int:
+        """Read frames until EOF or damage; return the last good offset."""
+        offset = HEADER_SIZE
+        min_payload = _TAG_LEN.size + self._key_width + self._row_width
+        while True:
+            length_bytes = handle.read(_FRAME_LEN.size)
+            if len(length_bytes) < _FRAME_LEN.size:
+                break  # clean EOF, or a tail torn inside the length field
+            (length,) = _FRAME_LEN.unpack(length_bytes)
+            payload = handle.read(length)
+            crc_bytes = handle.read(_FRAME_CRC.size)
+            if (
+                length < min_payload
+                or len(payload) < length
+                or len(crc_bytes) < _FRAME_CRC.size
+                or zlib.crc32(payload) != _FRAME_CRC.unpack(crc_bytes)[0]
+            ):
+                break  # torn/corrupt frame: everything after it is the tail
+            record = self._parse(payload)
+            if record is None:
+                break
+            self.records.append(record)
+            offset += _FRAME_LEN.size + length + _FRAME_CRC.size
+        return offset
+
+    def _parse(self, payload: bytes) -> "Tuple[bytes, bytes, np.ndarray] | None":
+        (tag_length,) = _TAG_LEN.unpack(payload[: _TAG_LEN.size])
+        key_start = _TAG_LEN.size + tag_length
+        row_start = key_start + self._key_width
+        if len(payload) != row_start + self._row_width:
+            return None
+        tag = payload[_TAG_LEN.size : key_start]
+        key = payload[key_start:row_start]
+        # A view into the (immutable) payload bytes: read-only by
+        # construction, matching the cache's frozen-row invariant.
+        row = np.frombuffer(payload, dtype=np.float64, count=self._n_metrics, offset=row_start)
+        return tag, key, row
+
+    # -- appends --------------------------------------------------------
+    def append(self, tag: bytes, key: bytes, metrics: np.ndarray) -> None:
+        """Append one ``(corner tag, row key, metric row)`` record."""
+        if self._file is None:
+            raise StoreError(f"store {self.path!r} is closed")
+        if len(key) != self._key_width:
+            raise ValueError(f"key width {len(key)}, expected {self._key_width}")
+        payload = _TAG_LEN.pack(len(tag)) + tag + key + metrics.tobytes()
+        if len(payload) != _TAG_LEN.size + len(tag) + self._key_width + self._row_width:
+            raise ValueError(
+                f"metric row has {metrics.size} values, expected {self._n_metrics}"
+            )
+        frame = _FRAME_LEN.pack(len(payload)) + payload + _FRAME_CRC.pack(zlib.crc32(payload))
+        try:
+            fault_point(SITE_CACHE_APPEND)
+        except InjectedFault:
+            # Die like a real crash would: half the frame durably on disk.
+            self._file.write(frame[: len(frame) // 2])
+            self._file.flush()
+            raise
+        self._file.write(frame)
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None

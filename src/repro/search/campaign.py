@@ -31,9 +31,10 @@ at a fixed seed/config.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,8 +42,10 @@ from repro.analysis.contracts import ArraySpec, contract
 from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
 from repro.core.design_space import DesignSpace
 from repro.obs import event, profiled
+from repro.resilience.faults import fault_point, register_fault_site
+from repro.resilience.snapshot import load_snapshot, save_snapshot
 from repro.search.eval_cache import CornerEvaluator, EvaluationCache
-from repro.search.optimizer import Optimizer, get_optimizer
+from repro.search.optimizer import Optimizer, SearchResult, get_optimizer
 from repro.search.progressive import (
     CornerReport,
     EvaluatorFactory,
@@ -54,6 +57,14 @@ from repro.search.progressive import (
 )
 from repro.search.spec import Spec, Specification
 from repro.search.trust_region import TrustRegionConfig
+
+#: Kill-and-resume drill site: dying *before* the atomic snapshot write
+#: leaves the previous round's snapshot intact (that, not a half-written
+#: file, is the worst case the atomic writer permits).
+SITE_SNAPSHOT_WRITE = register_fault_site("snapshot.write")
+
+#: Snapshot filename the resume path looks for in a checkpoint directory.
+LATEST_SNAPSHOT = "latest.snapshot"
 
 
 @dataclass(frozen=True)
@@ -102,6 +113,9 @@ class CampaignResult:
     #: Cross-phase evaluation-cache counters, per ``(row, corner)`` pair.
     cache_hits: int
     cache_misses: int
+    #: Round the campaign resumed from (``None`` for an uninterrupted run).
+    #: ``rounds`` still counts from the resumed round, matching the oracle.
+    resumed_from_round: Optional[int] = None
 
     @property
     def solved_fraction(self) -> float:
@@ -322,6 +336,93 @@ class _ProgressiveMember:
         )
         self.optimizer = self._build_optimizer()
 
+    # -- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serialize the member at a round boundary.
+
+        Snapshots are only taken between lockstep rounds, where every live
+        member is back in the ``search`` state with no request in flight —
+        so there is deliberately no ``_pending_rows`` field here, and
+        serializing mid-request is an error, not a silent wrong snapshot.
+        Corners serialize as indices into the severity-ranked grid the
+        member was built with, which the identity block of the campaign
+        snapshot pins.
+        """
+        if self._pending_rows is not None:
+            raise RuntimeError(
+                "member state_dict mid-request; snapshots happen at round boundaries"
+            )
+        corner_index = {corner: i for i, corner in enumerate(self.ranked)}
+        return {
+            "seed": self.seed,
+            "phase": self.phase,
+            "active": [corner_index[corner] for corner in self.active],
+            "total_evaluations": self.total_evaluations,
+            "phase_results": [result.state_dict() for result in self.phase_results],
+            "corner_reports": [
+                (corner_index[report.condition], dict(report.metrics), report.satisfied)
+                for report in self.corner_reports
+            ],
+            "solved_all": self.solved_all,
+            "finished": self.finished,
+            "state": self._state,
+            # analysis: allow(hot-loop-alloc) snapshot serialization is cold
+            "warm_start": self.warm_start.copy() if self.warm_start is not None else None,
+            "best_vector": self.best_vector.copy() if self.best_vector is not None else None,
+            "accounting": (
+                self.cache_hits,
+                self.cache_misses,
+                self.engine_calls,
+                self.eval_seconds,
+            ),
+            "optimizer": None if self.finished else self.optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if state["seed"] != self.seed:
+            raise ValueError(
+                f"member state is for seed {state['seed']}, this member is seed {self.seed}"
+            )
+        self.phase = state["phase"]
+        self.active = [self.ranked[index] for index in state["active"]]
+        self.total_evaluations = state["total_evaluations"]
+        self.phase_results = [
+            SearchResult.from_state(result) for result in state["phase_results"]
+        ]
+        self.corner_reports = [
+            CornerReport(
+                condition=self.ranked[index],
+                metrics=dict(metrics),
+                satisfied=satisfied,
+            )
+            for index, metrics, satisfied in state["corner_reports"]
+        ]
+        self.solved_all = state["solved_all"]
+        self.finished = state["finished"]
+        self._state = state["state"]
+        self._pending_rows = None
+        warm_start = state["warm_start"]
+        self.warm_start = (
+            np.asarray(warm_start, dtype=np.float64).copy()
+            if warm_start is not None
+            else None
+        )
+        best_vector = state["best_vector"]
+        self.best_vector = (
+            np.asarray(best_vector, dtype=np.float64).copy()
+            if best_vector is not None
+            else None
+        )
+        self.cache_hits, self.cache_misses, self.engine_calls, self.eval_seconds = state[
+            "accounting"
+        ]
+        if state["optimizer"] is not None:
+            # Rebuilt for the restored phase/warm-start first (the exact
+            # construction the interrupted run performed), then the mutable
+            # search state lands on top.
+            self.optimizer = self._build_optimizer()
+            self.optimizer.load_state_dict(state["optimizer"])
+
     def build_result(self) -> ProgressiveResult:
         return ProgressiveResult(
             best_sizing=self.design_space.to_dict(self.best_vector),
@@ -361,6 +462,11 @@ class Campaign:
         config's seed.  All seeds share one :class:`EvaluationCache`, and
         each lockstep round feeds the live seeds' pending batches through
         one stacked evaluator call per distinct corner set.
+    cache_path:
+        Optional persistent evaluation-cache store: computed pairs are
+        appended there and preloaded on construction, so a resumed or
+        repeated campaign over the same workload warm-starts across
+        processes (see ``EvaluationCache(persist_path=...)``).
     """
 
     def __init__(
@@ -370,6 +476,7 @@ class Campaign:
         corners: Optional[Sequence[PVTCondition]] = None,
         config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
         seeds: Optional[Sequence[int]] = None,
+        cache_path: Optional[str] = None,
     ) -> None:
         self.handle = handle
         self.progressive = _as_progressive_config(config, None)
@@ -400,7 +507,10 @@ class Campaign:
                 "nor a per-corner evaluator factory"
             )
         self.cache = EvaluationCache(
-            engine, handle.design_space.dimension, len(handle.metric_names)
+            engine,
+            handle.design_space.dimension,
+            len(handle.metric_names),
+            persist_path=cache_path,
         )
         self._members = [
             _ProgressiveMember(
@@ -497,8 +607,135 @@ class Campaign:
         for member, rows, _ in grouped:
             member.receive(self._evaluate_for(member, rows, corners))
 
-    def run(self) -> CampaignResult:
-        """Run all seeds to completion in lockstep evaluation rounds."""
+    # -- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The campaign at a round boundary: identity, members, cache.
+
+        The identity block pins everything the snapshot's index-based
+        corner references and optimizer states assume about the campaign
+        it is loaded into — seeds, optimizer, corner grid, workload shape,
+        and the full resolved config (via its dataclass ``repr``, which
+        covers every hyper-parameter).  :meth:`load_state_dict` refuses a
+        mismatch instead of resuming a silently different search.
+        """
+        return {
+            "identity": {
+                "seeds": list(self.seeds),
+                "config": repr(self.progressive),
+                "dimension": self.handle.design_space.dimension,
+                "metric_names": list(self.handle.metric_names),
+                "corners": [
+                    (corner.process, corner.voltage_factor, corner.temperature_c)
+                    for corner in self.ranked
+                ],
+            },
+            "rounds": self.rounds,
+            "members": [member.state_dict() for member in self._members],
+            "cache": self.cache.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        identity = state["identity"]
+        expected = {
+            "seeds": list(self.seeds),
+            "config": repr(self.progressive),
+            "dimension": self.handle.design_space.dimension,
+            "metric_names": list(self.handle.metric_names),
+            "corners": [
+                (corner.process, corner.voltage_factor, corner.temperature_c)
+                for corner in self.ranked
+            ],
+        }
+        for field in expected:
+            if identity.get(field) != expected[field]:
+                raise ValueError(
+                    f"snapshot identity mismatch on {field!r}: snapshot has "
+                    f"{identity.get(field)!r}, this campaign has {expected[field]!r}"
+                )
+        self.rounds = state["rounds"]
+        for member, member_state in zip(self._members, state["members"]):
+            member.load_state_dict(member_state)
+        self.cache.load_state_dict(state["cache"])
+
+    def close(self) -> None:
+        """Release the persistent cache store, if any."""
+        self.cache.close()
+
+    @staticmethod
+    def _resolve_snapshot(resume_from: str) -> Optional[str]:
+        """Map ``resume_from`` to a snapshot file, or ``None`` to cold-start.
+
+        A directory resolves to its ``latest.snapshot`` — missing means no
+        checkpoint was ever completed, which after a very early crash is
+        the legitimate resume answer: start over.  An explicit file path
+        must exist (a typo should not silently cold-start a long campaign).
+        """
+        if os.path.isdir(resume_from):
+            path = os.path.join(resume_from, LATEST_SNAPSHOT)
+            return path if os.path.exists(path) else None
+        if not os.path.exists(resume_from):
+            raise FileNotFoundError(f"snapshot {resume_from!r} does not exist")
+        return resume_from
+
+    def _write_checkpoint(self, checkpoint_dir: str, keep_history: bool) -> None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        fault_point(SITE_SNAPSHOT_WRITE)
+        state = self.state_dict()
+        save_snapshot(os.path.join(checkpoint_dir, LATEST_SNAPSHOT), state)
+        if keep_history:
+            save_snapshot(
+                os.path.join(checkpoint_dir, f"round-{self.rounds:05d}.snapshot"),
+                state,
+            )
+        event("resilience.checkpoint", round=self.rounds, dir=checkpoint_dir)
+
+    def run(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Optional[str] = None,
+        checkpoint_every: int = 1,
+        keep_history: bool = False,
+    ) -> CampaignResult:
+        """Run all seeds to completion in lockstep evaluation rounds.
+
+        Parameters
+        ----------
+        checkpoint_dir:
+            When given, a snapshot of the full campaign state is written
+            (atomically) after each eligible round, as
+            ``<dir>/latest.snapshot``.
+        resume_from:
+            A snapshot file, or a checkpoint directory whose
+            ``latest.snapshot`` is used.  The campaign state is restored
+            before the first round; the continued run is bit-identical to
+            the uninterrupted one — trajectories, best vectors, cache
+            content *and* cache accounting (locked by the determinism
+            auditor's resume-parity mode and the resilience drill).  A
+            directory without a snapshot (the run died before the first
+            checkpoint) cold-starts.
+        checkpoint_every:
+            Snapshot cadence in rounds (default: every round).
+        keep_history:
+            Also keep one ``round-NNNNN.snapshot`` per checkpoint instead
+            of only the latest (used by resume-parity audits).
+        """
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if checkpoint_dir is not None:
+            # Created before the first round, not at the first write: a run
+            # that dies before any checkpoint leaves an *empty* directory,
+            # which resume_from correctly reads as "cold-start" instead of
+            # mistaking it for a mistyped snapshot path.
+            os.makedirs(checkpoint_dir, exist_ok=True)
+        resumed_from_round: Optional[int] = None
+        if resume_from is not None:
+            snapshot_path = self._resolve_snapshot(resume_from)
+            if snapshot_path is not None:
+                self.load_state_dict(load_snapshot(snapshot_path))
+                resumed_from_round = self.rounds
+                event(
+                    "resilience.resume", round=self.rounds, snapshot=snapshot_path
+                )
         cache = self.cache
         with profiled(
             "campaign.run",
@@ -543,6 +780,11 @@ class Campaign:
                             member.receive(self._evaluate_for(member, rows, corners))
                             continue
                         self._run_group(grouped)
+                # Round boundary: every receive() has landed, so no member
+                # has a request in flight — the one state a snapshot is
+                # allowed to capture.
+                if checkpoint_dir is not None and self.rounds % checkpoint_every == 0:
+                    self._write_checkpoint(checkpoint_dir, keep_history)
         results = [member.build_result() for member in self._members]
         return CampaignResult(
             results=results,
@@ -552,4 +794,5 @@ class Campaign:
             eval_seconds=cache.eval_seconds,
             cache_hits=cache.hits,
             cache_misses=cache.misses,
+            resumed_from_round=resumed_from_round,
         )

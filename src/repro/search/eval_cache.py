@@ -20,22 +20,60 @@ stacked fast path or the looped parity oracle, and since both are
 bit-identical the cache never changes a search trajectory — it only removes
 repeat work.  It also keeps the benchmark accounting: ``eval_seconds`` is the
 wall time actually spent inside the wrapped evaluator.
+
+With ``persist_path`` the cache additionally mirrors every computed pair
+into an append-only on-disk store (:class:`repro.resilience.store.CacheStore`)
+and warm-starts from it on construction, so a later *process* — a resumed
+campaign, a bench rerun, a future shard — serves the same pairs without
+touching the engine.  Persisted values are the exact float64 buffers the
+engine produced, so warm hits are bit-identical to recomputation and
+trajectories stay unchanged; only the hit/miss accounting moves, which the
+``warm_hits``/``cold_hits`` split makes visible.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.analysis.contracts import ArraySpec, SeqLen, contract
 from repro.circuits.pvt import PVTCondition
 from repro.obs import event, profiled
+from repro.resilience.faults import fault_point, register_fault_site
+from repro.resilience.store import CacheStore
 
 #: A corner evaluator maps ``(count, dim)`` sizings and a corner list to a
 #: ``(n_corners, count, n_metrics)`` metric block.
 CornerEvaluator = Callable[[np.ndarray, Sequence[PVTCondition]], np.ndarray]
+
+#: Kill-and-resume drill site: a crash inside the true evaluator loses the
+#: whole in-flight block (nothing was cached or persisted yet).
+SITE_ENGINE_CALL = register_fault_site("engine.call")
+
+_EMPTY_KEYS: "frozenset[bytes]" = frozenset()
+
+
+def _corner_tag(corner: PVTCondition) -> bytes:
+    """Exact, parseable corner identity for the on-disk store.
+
+    ``float.hex`` round-trips bit-for-bit, matching the canonical corner
+    encoding :meth:`EvaluationCache.state_digest` hashes.
+    """
+    return (
+        f"{corner.process}|{corner.voltage_factor.hex()}"
+        f"|{corner.temperature_c.hex()}".encode("ascii")
+    )
+
+
+def _corner_from_tag(tag: bytes) -> PVTCondition:
+    process, voltage, temperature = tag.decode("ascii").split("|")
+    return PVTCondition(
+        process=process,
+        voltage_factor=float.fromhex(voltage),
+        temperature_c=float.fromhex(temperature),
+    )
 
 
 class EvaluationCache:
@@ -49,22 +87,39 @@ class EvaluationCache:
         Sizing-vector length, fixing the void-view key width.
     n_metrics:
         Metric columns per corner (the evaluator's last axis).
+    persist_path:
+        Optional on-disk store file.  When given, the cache preloads every
+        record the store holds (repairing a torn tail from a crashed
+        writer, see :class:`~repro.resilience.store.CacheStore`) and
+        appends every newly computed pair, so hits survive the process.
 
     Attributes
     ----------
     hits, misses:
         Per ``(row, corner)`` pair counters: ``hits`` were served from the
         cache, ``misses`` went to the true evaluator.
+    warm_hits, cold_hits:
+        Split of ``hits``: warm hits were served from pairs preloaded off
+        the persistent store (another process computed them), cold hits
+        from pairs this cache computed itself.  Without ``persist_path``
+        every hit is cold.
     engine_calls:
         Invocations of the wrapped evaluator — the multi-seed Campaign
         batches many seeds' requests into fewer, larger calls, and this is
         the counter that shows it.
     eval_seconds:
         Cumulative wall time inside the wrapped evaluator.
+    preloaded_pairs, repaired_bytes:
+        Persistence diagnostics: pairs warm-loaded at construction, and
+        bytes a torn-tail repair truncated off the store on open.
     """
 
     def __init__(
-        self, corner_evaluator: CornerEvaluator, dimension: int, n_metrics: int
+        self,
+        corner_evaluator: CornerEvaluator,
+        dimension: int,
+        n_metrics: int,
+        persist_path: Optional[str] = None,
     ) -> None:
         self._evaluate = corner_evaluator
         self._key_width = int(dimension) * np.dtype(np.float64).itemsize
@@ -76,8 +131,33 @@ class EvaluationCache:
         self._store: Dict[PVTCondition, Dict[bytes, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        self.warm_hits = 0
+        self.cold_hits = 0
         self.engine_calls = 0
         self.eval_seconds = 0.0
+        self.preloaded_pairs = 0
+        self.repaired_bytes = 0
+        # Pairs that came off the persistent store rather than this
+        # process's own engine calls, for the warm/cold hit split.
+        self._warm: Dict[PVTCondition, Set[bytes]] = {}
+        self._backend: Optional[CacheStore] = None
+        if persist_path is not None:
+            self._backend = CacheStore(persist_path, int(dimension), self.n_metrics)
+            self.repaired_bytes = self._backend.repaired_bytes
+            corners_by_tag: Dict[bytes, PVTCondition] = {}
+            for tag, key, row in self._backend.records:
+                corner = corners_by_tag.get(tag)
+                if corner is None:
+                    corner = corners_by_tag.setdefault(tag, _corner_from_tag(tag))
+                self._store.setdefault(corner, {})[key] = row
+                self._warm.setdefault(corner, set()).add(key)
+            self.preloaded_pairs = len(self)
+            event(
+                "eval_cache.warm_load",
+                path=persist_path,
+                pairs=self.preloaded_pairs,
+                repaired_bytes=self.repaired_bytes,
+            )
 
     def __len__(self) -> int:
         """Total number of cached ``(row, corner)`` pairs."""
@@ -140,10 +220,13 @@ class EvaluationCache:
             for i in range(count)
             if any(keys[i] not in store for store in stores)
         ]
+        fresh_set = set(fresh)
         hits = (count - len(fresh)) * len(corners)
         misses = len(fresh) * len(corners)
         self.hits += hits
         self.misses += misses
+        if hits:
+            self._split_hits(keys, corners, fresh_set, hits)
         event(
             "eval_cache.evaluate",
             rows=count,
@@ -155,6 +238,7 @@ class EvaluationCache:
         out = np.empty((len(corners), count, self.n_metrics), dtype=np.float64)
         if fresh:
             self.engine_calls += 1
+            fault_point(SITE_ENGINE_CALL)
             with profiled(
                 "eval_cache.engine", rows=len(fresh), corners=len(corners)
             ) as timer:
@@ -169,7 +253,8 @@ class EvaluationCache:
             for corner_index, store in enumerate(stores):
                 for block_index, row_index in enumerate(fresh):
                     store[keys[row_index]] = block[corner_index, block_index]
-        fresh_set = set(fresh)
+            if self._backend is not None:
+                self._persist(keys, corners, fresh, block)
         for row_index in range(count):
             if row_index in fresh_set:
                 continue
@@ -177,6 +262,123 @@ class EvaluationCache:
                 out[corner_index, row_index] = store[keys[row_index]]
         out.flags.writeable = False
         return out
+
+    def _split_hits(
+        self,
+        keys: List[bytes],
+        corners: Sequence[PVTCondition],
+        fresh_set: Set[int],
+        hits: int,
+    ) -> None:
+        """Attribute served hits to the warm (preloaded) or cold pool."""
+        if not self._warm:
+            self.cold_hits += hits
+            return
+        warm = 0
+        for row_index in range(len(keys)):
+            if row_index in fresh_set:
+                continue
+            key = keys[row_index]
+            for corner in corners:
+                if key in self._warm.get(corner, _EMPTY_KEYS):
+                    warm += 1
+        self.warm_hits += warm
+        self.cold_hits += hits - warm
+
+    def _persist(
+        self,
+        keys: List[bytes],
+        corners: Sequence[PVTCondition],
+        fresh: List[int],
+        block: np.ndarray,
+    ) -> None:
+        """Append this engine call's pairs to the on-disk store.
+
+        A fresh row is recomputed at *all* requested corners, so a pair
+        already on disk (cached at one corner, missing at another) can be
+        re-appended; the loader replays records in order, so the duplicate
+        is harmless — same key, bit-identical value.
+        """
+        backend = self._backend
+        for corner_index, corner in enumerate(corners):
+            tag = _corner_tag(corner)
+            for block_index, row_index in enumerate(fresh):
+                backend.append(tag, keys[row_index], block[corner_index, block_index])
+        backend.flush()
+
+    def close(self) -> None:
+        """Flush and close the persistent store (no-op without one)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    # -- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Content and counters, for campaign snapshots.
+
+        Corners serialize as their exact field tuples; per corner the keys
+        are kept in insertion order next to a stacked metric matrix, so
+        restore rebuilds not just equal content but the same iteration
+        order the interrupted run had.
+        """
+        content = []
+        for corner, store in self._store.items():
+            corner_keys = list(store)
+            # analysis: allow(hot-loop-alloc) snapshot serialization is cold
+            matrix = np.stack([store[key] for key in corner_keys]) if corner_keys else np.empty((0, self.n_metrics))
+            content.append(
+                (
+                    (corner.process, corner.voltage_factor, corner.temperature_c),
+                    corner_keys,
+                    matrix,
+                )
+            )
+        return {
+            "counters": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "warm_hits": self.warm_hits,
+                "cold_hits": self.cold_hits,
+                "engine_calls": self.engine_calls,
+                "eval_seconds": self.eval_seconds,
+            },
+            "content": content,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot, *replacing* the current content.
+
+        Replacement (not merge) is what makes a resumed campaign
+        bit-identical to the uninterrupted oracle including its hit/miss
+        accounting: the cache holds exactly what it held at the snapshot
+        round, even when the persistent store already has pairs the
+        interrupted run computed afterwards (those are simply recomputed —
+        to identical values — and re-appended).  The warm/cold split is
+        re-intersected against the restored content so the split's
+        invariant (warm keys are a subset of stored keys) survives.
+        """
+        counters = state["counters"]
+        self.hits = counters["hits"]
+        self.misses = counters["misses"]
+        self.warm_hits = counters["warm_hits"]
+        self.cold_hits = counters["cold_hits"]
+        self.engine_calls = counters["engine_calls"]
+        self.eval_seconds = counters["eval_seconds"]
+        self._store = {}
+        for fields, corner_keys, matrix in state["content"]:
+            corner = PVTCondition(
+                process=fields[0], voltage_factor=fields[1], temperature_c=fields[2]
+            )
+            # analysis: allow(hot-loop-alloc) snapshot restore is cold
+            block = np.asarray(matrix, dtype=np.float64)
+            block.flags.writeable = False
+            store: Dict[bytes, np.ndarray] = {}
+            for index, key in enumerate(corner_keys):
+                store[key] = block[index]
+            self._store[corner] = store
+        self._warm = {
+            corner: {key for key in warm_keys if key in self._store.get(corner, ())}
+            for corner, warm_keys in self._warm.items()
+        }
 
     def state_digest(self) -> str:
         """SHA-256 over the full cache content, bit for bit.

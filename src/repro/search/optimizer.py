@@ -116,6 +116,37 @@ class SearchResult:
             "refit_seconds": float(self.refit_seconds),
         }
 
+    def state_dict(self) -> Dict[str, object]:
+        """Full-fidelity state tree (unlike the rounding-free but summary
+        :meth:`to_dict`) for campaign snapshots: plain builtins + arrays."""
+        return {
+            "best_sizing": dict(self.best_sizing),
+            "best_vector": self.best_vector.copy(),
+            "best_metrics": dict(self.best_metrics),
+            "best_score": self.best_score,
+            "solved": self.solved,
+            "evaluations": self.evaluations,
+            "history": [
+                (r.evaluations, r.radius, r.best_score, r.improved)
+                for r in self.history
+            ],
+            "refit_seconds": self.refit_seconds,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SearchResult":
+        """Rebuild a result from :meth:`state_dict` output, bit for bit."""
+        return cls(
+            best_sizing=dict(state["best_sizing"]),
+            best_vector=np.asarray(state["best_vector"], dtype=np.float64).copy(),
+            best_metrics=dict(state["best_metrics"]),
+            best_score=state["best_score"],
+            solved=state["solved"],
+            evaluations=state["evaluations"],
+            history=[IterationRecord(*record) for record in state["history"]],
+            refit_seconds=state["refit_seconds"],
+        )
+
 
 @dataclass(frozen=True)
 class Incumbent:
@@ -385,6 +416,72 @@ class DatasetOptimizer(Optimizer):
             refit_seconds=self.refit_seconds,
         )
 
+    # -- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Everything needed to resume this optimizer bit-identically.
+
+        The dataset is stored as the natural-unit rows and raw metrics
+        only: unit-cube rows, dedup keys, satisfaction scores and the
+        incumbent index are *recomputed* on restore through the exact same
+        elementwise code paths that produced them (``to_unit``,
+        ``Specification.score``, ``np.argmax``), so they come back bit for
+        bit without bloating the snapshot.
+        """
+        count = self._count
+        return {
+            "kind": type(self).__name__,
+            "rng": self.rng.bit_generator.state,
+            "X": self._X[:count].copy(),
+            "M": self._M[:count].copy(),
+            "history": [
+                (r.evaluations, r.radius, r.best_score, r.improved)
+                for r in self._history
+            ],
+            "done": self._done,
+            "refit_seconds": self.refit_seconds,
+            "initial_points": (
+                self._initial_points.copy()
+                if self._initial_points is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output into a freshly built optimizer.
+
+        The optimizer must have been constructed with the same design
+        space, specification and config as the one that produced the
+        state; only the mutable search state is restored here.
+        """
+        if state["kind"] != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state['kind']!r}, "
+                f"this optimizer is {type(self).__name__!r}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+        initial = state["initial_points"]
+        self._initial_points = (
+            np.asarray(initial, dtype=np.float64).copy() if initial is not None else None
+        )
+        dim = self.design_space.dimension
+        self._capacity = 0
+        self._count = 0
+        self._X = np.empty((0, dim))
+        self._U = np.empty((0, dim))
+        self._M = np.empty((0, len(self.specification.metric_names)))
+        self._scores = np.empty(0)
+        self._keys = np.empty(0, dtype=self._key_dtype)
+        self._best = -1
+        rows = np.asarray(state["X"], dtype=np.float64)
+        metrics = np.asarray(state["M"], dtype=np.float64)
+        if rows.shape[0]:
+            # One _append restores the derived buffers through the same
+            # code (and the same argmax tie-breaking) that built them.
+            self._append(np.atleast_2d(rows), self._row_keys(np.atleast_2d(rows)), np.atleast_2d(metrics))
+        self._history = [IterationRecord(*record) for record in state["history"]]
+        self._done = state["done"]
+        self.refit_seconds = state["refit_seconds"]
+
     def run(self) -> SearchResult:
         """Self-driving ask/tell loop over the optimizer's own evaluator."""
         if self.evaluator is None:
@@ -418,6 +515,15 @@ class RandomSearch(DatasetOptimizer):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._asked = False
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["asked"] = self._asked
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._asked = state["asked"]
 
     def ask(self) -> np.ndarray:
         if self._done:
@@ -460,6 +566,20 @@ class CrossEntropySearch(DatasetOptimizer):
         self._asked = False
         self._mean: Optional[np.ndarray] = None
         self._std: Optional[np.ndarray] = None
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["asked"] = self._asked
+        state["mean"] = self._mean.copy() if self._mean is not None else None
+        state["std"] = self._std.copy() if self._std is not None else None
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._asked = state["asked"]
+        mean, std = state["mean"], state["std"]
+        self._mean = mean.copy() if mean is not None else None
+        self._std = std.copy() if std is not None else None
 
     def _draw(self) -> np.ndarray:
         if self._mean is None:

@@ -88,6 +88,7 @@ def build_campaign(
     corners: Optional[Sequence[PVTCondition]] = None,
     config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
     seeds: Optional[Sequence[int]] = None,
+    cache_path: Optional[str] = None,
     **overrides,
 ) -> "Campaign":
     """Resolve a topology into a ready-to-run multi-seed Campaign.
@@ -97,6 +98,8 @@ def build_campaign(
     explicit-wins/``None``-defers against ``config``.  ``seeds`` selects
     the campaign members (defaulting to the resolved config's seed); the
     spec set defaults to the topology's ``default_specs()`` at ``tier``.
+    ``cache_path`` points the campaign's evaluation cache at a persistent
+    on-disk store (warm starts across processes).
     """
     # Imported lazily: the topology modules import repro.search.spec, so a
     # module-level import here would be circular.
@@ -121,6 +124,7 @@ def build_campaign(
         corners=corners,
         config=progressive,
         seeds=seeds,
+        cache_path=cache_path,
     )
 
 

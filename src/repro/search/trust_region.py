@@ -39,12 +39,13 @@ step-for-step bit-identical to the autodiff reference — switching
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.design_space import DesignSpace
 from repro.obs import profiled
+from repro.resilience.faults import fault_point, register_fault_site
 from repro.nn.fused import FusedAdam, FusedMLP
 from repro.nn.modules import MLP
 from repro.nn.optim import Adam
@@ -74,6 +75,10 @@ __all__ = [
 #: Training backends the search accepts (no "auto" here: the search builds
 #: the surrogate itself, so the choice must be explicit).
 SEARCH_BACKENDS = ("fused", "autodiff")
+
+#: Kill-and-resume drill site: a crash inside a surrogate refit loses the
+#: half-updated Adam moments, which resume must reconstruct exactly.
+SITE_REFIT = register_fault_site("optimizer.refit")
 
 
 @dataclass
@@ -173,6 +178,7 @@ class TrustRegionSearch(DatasetOptimizer):
 
     # ------------------------------------------------------------------
     def _refit_surrogate(self, epochs: int) -> None:
+        fault_point(SITE_REFIT)
         with profiled(
             "trust_region.refit",
             epochs=epochs,
@@ -211,6 +217,65 @@ class TrustRegionSearch(DatasetOptimizer):
             rng=self.rng,
             backend=self.config.backend,
         )
+
+    # -- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Dataset state plus the trust-region and surrogate extras.
+
+        The surrogate bundle stores only what the builder cannot
+        reconstruct: parameter values, Adam moments/step and the frozen
+        output-scaler statistics.  The network *shape* and its
+        initialization RNG are derived from the config, so restore rebuilds
+        the surrogate exactly the way :meth:`_refit_surrogate_inner` does
+        and then overwrites the trained values.
+        """
+        state = super().state_dict()
+        state["seeded"] = self._seeded
+        state["iterating"] = self._iterating
+        state["radius"] = self._radius
+        if self._surrogate is None:
+            state["surrogate"] = None
+        else:
+            state["surrogate"] = {
+                "params": self._surrogate.state_dict(),
+                "adam": self._optimizer.state_dict(),
+                "scaler_mean": self._output_scaler.mean_.copy(),
+                "scaler_std": self._output_scaler.std_.copy(),
+            }
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._seeded = state["seeded"]
+        self._iterating = state["iterating"]
+        self._radius = state["radius"]
+        bundle = state["surrogate"]
+        if bundle is None:
+            self._surrogate = None
+            self._optimizer = None
+            self._output_scaler = None
+            return
+        # The same construction sequence as the first refit: template MLP
+        # from the derived seed, optionally fused, fresh Adam — then the
+        # checkpointed values land on top.
+        template = MLP(
+            in_features=self.design_space.dimension,
+            hidden=tuple(self.config.surrogate_hidden),
+            out_features=len(self.specification.metric_names),
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        if self.config.backend == "fused":
+            self._surrogate = FusedMLP.from_module(template)
+            self._optimizer = FusedAdam(self._surrogate, lr=self.config.learning_rate)
+        else:
+            self._surrogate = template
+            self._optimizer = Adam(template.parameters(), lr=self.config.learning_rate)
+        self._surrogate.load_state_dict(bundle["params"])
+        self._optimizer.load_state_dict(bundle["adam"])
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(bundle["scaler_mean"], dtype=np.float64).copy()
+        scaler.std_ = np.asarray(bundle["scaler_std"], dtype=np.float64).copy()
+        self._output_scaler = scaler
 
     def _rank_candidates(self, candidates: np.ndarray, keep: int) -> np.ndarray:
         """Indices of the predicted-best ``keep`` candidates, best first.

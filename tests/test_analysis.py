@@ -163,6 +163,25 @@ CORPUS = [
         "    def _metrics_from_parts(self, parts):\n"
         "        return parts\n",
     ),
+    (
+        "non-atomic-artifact-write",
+        "import json\n"
+        "def dump(payload, path):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        json.dump(payload, handle)\n",
+        "from repro.resilience import atomic_write_json\n"
+        "def dump(payload, path):\n"
+        "    atomic_write_json(path, payload)\n",
+    ),
+    (
+        "non-atomic-artifact-write",
+        "def append(path, line):\n"
+        "    with open(path, mode='ab') as handle:\n"
+        "        handle.write(line)\n",
+        "def load(path):\n"
+        "    with open(path, 'rb') as handle:\n"
+        "        return handle.read()\n",
+    ),
 ]
 
 
@@ -244,6 +263,23 @@ class TestScoping:
         )
         in_tests = lint_with(
             "ad-hoc-timing", source, path="tests/test_example.py"
+        )
+        assert not sanctioned and not in_tests and elsewhere
+
+    def test_atomic_write_rule_exempts_resilience_and_tests(self):
+        source = (
+            "def dump(path, data):\n"
+            "    with open(path, 'wb') as handle:\n"
+            "        handle.write(data)\n"
+        )
+        sanctioned = lint_with(
+            "non-atomic-artifact-write", source, path="src/repro/resilience/atomic.py"
+        )
+        elsewhere = lint_with(
+            "non-atomic-artifact-write", source, path="src/repro/bench/runner.py"
+        )
+        in_tests = lint_with(
+            "non-atomic-artifact-write", source, path="tests/test_example.py"
         )
         assert not sanctioned and not in_tests and elsewhere
 

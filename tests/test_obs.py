@@ -247,9 +247,16 @@ class TestJsonlRoundTrip:
 
     def test_load_trace_points_at_bad_lines(self, tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"type": "span"}\nnot json\n')
+        path.write_text('{"type": "span"}\nnot json\n{"type": "event"}\n')
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             load_trace(str(path))
+
+    def test_load_trace_tolerates_torn_final_line(self, tmp_path):
+        """A killed writer leaves at most one partial record at the tail."""
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "span"}\n{"type": "ev')
+        records = load_trace(str(path))
+        assert records == [{"type": "span"}]
 
 
 class TestReportRollup:

@@ -1,0 +1,400 @@
+"""Crash safety: atomic writes, snapshots, the persistent cache store,
+fault injection, checkpoint/resume parity, and the kill-and-resume drill."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.determinism import fingerprint_outcome
+from repro.bench.registry import BenchCase, get_suite
+from repro.bench.runner import run_suite
+from repro.resilience import (
+    CacheStore,
+    FaultPlan,
+    InjectedFault,
+    SnapshotError,
+    StoreError,
+    atomic_write_json,
+    atomic_write_text,
+    fault_point,
+    fsync_replace,
+    inject,
+    load_snapshot,
+    registered_fault_sites,
+    save_snapshot,
+)
+from repro.resilience.drill import drill_suite
+from repro.search.campaign import LATEST_SNAPSHOT
+
+
+def _campaign_fingerprint(campaign, outcome, seeds):
+    return fingerprint_outcome(outcome, campaign.cache.state_digest(), seeds)
+
+
+class TestAtomicWrites:
+    def test_text_write_and_replace(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "first")
+        atomic_write_text(str(target), "second")
+        assert target.read_text() == "second"
+        # No temp residue: the one file present is the artifact itself.
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+    def test_json_write_is_stable(self, tmp_path):
+        target = tmp_path / "payload.json"
+        atomic_write_json(str(target), {"b": 1, "a": [1, 2]})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2], "b": 1}
+        # Keys are sorted so byte-diffs of artifacts are meaningful.
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_fsync_replace_promotes_partial(self, tmp_path):
+        partial = tmp_path / "trace.jsonl.partial"
+        final = tmp_path / "trace.jsonl"
+        partial.write_text("line\n")
+        fsync_replace(str(partial), str(final))
+        assert final.read_text() == "line\n"
+        assert not partial.exists()
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_numpy_and_bytes(self, tmp_path):
+        path = str(tmp_path / "state.snapshot")
+        state = {
+            "matrix": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "key": b"\x00\x01",
+            "nested": {"seeds": (0, 1), "name": "ota_5t"},
+        }
+        save_snapshot(path, state)
+        restored = load_snapshot(path)
+        np.testing.assert_array_equal(restored["matrix"], state["matrix"])
+        assert restored["key"] == state["key"]
+        assert restored["nested"] == state["nested"]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            load_snapshot(str(tmp_path / "nope.snapshot"))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.snapshot"
+        path.write_bytes(b"not a snapshot at all")
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(str(path))
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        save_snapshot(str(path), {"x": 1})
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(str(path))
+
+    def test_bitflip_fails_crc(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        save_snapshot(str(path), {"x": 1})
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="CRC"):
+            load_snapshot(str(path))
+
+
+class TestCacheStore:
+    DIM, METRICS = 3, 2
+
+    def _record(self, value):
+        key = np.full(self.DIM, value, dtype=np.float64).tobytes()
+        row = np.array([value, -value], dtype=np.float64)
+        return b"corner", key, row
+
+    def test_append_then_reopen_replays_records(self, tmp_path):
+        path = str(tmp_path / "cache.evc")
+        store = CacheStore(path, self.DIM, self.METRICS)
+        for value in (1.0, 2.0):
+            store.append(*self._record(value))
+        store.close()
+        reopened = CacheStore(path, self.DIM, self.METRICS)
+        assert reopened.repaired_bytes == 0
+        assert len(reopened.records) == 2
+        tag, key, row = reopened.records[1]
+        assert tag == b"corner"
+        assert key == self._record(2.0)[1]
+        np.testing.assert_array_equal(row, [2.0, -2.0])
+        reopened.close()
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        path = str(tmp_path / "cache.evc")
+        store = CacheStore(path, self.DIM, self.METRICS)
+        store.append(*self._record(1.0))
+        store.close()
+        intact_size = os.path.getsize(path)
+        torn = b"\x2a\x00\x00\x00torn-frame"
+        with open(path, "ab") as handle:
+            handle.write(torn)
+        reopened = CacheStore(path, self.DIM, self.METRICS)
+        # The torn bytes are gone from disk and the good record survived.
+        assert reopened.repaired_bytes == len(torn)
+        assert os.path.getsize(path) == intact_size
+        assert len(reopened.records) == 1
+        reopened.close()
+
+    def test_injected_append_fault_leaves_repairable_half_frame(self, tmp_path):
+        path = str(tmp_path / "cache.evc")
+        store = CacheStore(path, self.DIM, self.METRICS)
+        store.append(*self._record(1.0))
+        with pytest.raises(InjectedFault):
+            with inject(FaultPlan("cache.append", occurrence=1)):
+                store.append(*self._record(2.0))
+        store.close()
+        reopened = CacheStore(path, self.DIM, self.METRICS)
+        assert reopened.repaired_bytes > 0
+        assert len(reopened.records) == 1
+        reopened.close()
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "cache.evc")
+        CacheStore(path, self.DIM, self.METRICS).close()
+        with pytest.raises(StoreError, match="dimension"):
+            CacheStore(path, self.DIM + 1, self.METRICS)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "cache.evc"
+        path.write_bytes(b"x" * 64)
+        with pytest.raises(StoreError, match="not an evaluation-cache store"):
+            CacheStore(str(path), self.DIM, self.METRICS)
+
+
+class TestFaultInjection:
+    def test_all_engine_sites_registered(self):
+        assert {"cache.append", "engine.call", "optimizer.refit",
+                "snapshot.write"} <= set(registered_fault_sites())
+
+    def test_plan_fires_at_exact_occurrence(self):
+        plan = FaultPlan("engine.call", occurrence=3)
+        with inject(plan):
+            fault_point("engine.call")
+            fault_point("engine.call")
+            with pytest.raises(InjectedFault):
+                fault_point("engine.call")
+        assert plan.fired
+        assert plan.counts["engine.call"] == 3
+        # A fired plan never fires again.
+        with inject(plan):
+            fault_point("engine.call")
+
+    def test_unarmed_fault_point_is_noop(self):
+        fault_point("engine.call")
+
+    def test_unknown_site_rejected_at_arming(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            with inject(FaultPlan("warp.core", occurrence=1)):
+                pass
+
+    def test_nested_arming_rejected(self):
+        with inject(FaultPlan("engine.call", occurrence=99)):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with inject(FaultPlan("engine.call", occurrence=1)):
+                    pass
+
+    def test_from_seed_is_deterministic(self):
+        first = FaultPlan.from_seed(7)
+        second = FaultPlan.from_seed(7)
+        assert (first.site, first.occurrence) == (second.site, second.occurrence)
+
+
+#: The drill workload (hard enough to refit) under each registered
+#: optimizer, plus a second topology — the resume-parity matrix.
+RESUME_CASES = [
+    (get_suite("drill")[0], "trust_region"),
+    (get_suite("drill")[0], "random"),
+    (get_suite("drill")[0], "cross_entropy"),
+    (
+        BenchCase(
+            "two_stage_opamp", "smoke", "nominal",
+            max_evaluations=120, max_phases=1,
+        ),
+        "trust_region",
+    ),
+]
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize(
+        "case, optimizer",
+        RESUME_CASES,
+        ids=[f"{case.topology}-{opt}" for case, opt in RESUME_CASES],
+    )
+    def test_resume_is_bit_identical(self, tmp_path, case, optimizer):
+        seeds = [0, 1]
+        ckpt = str(tmp_path / "ckpt")
+        oracle_campaign = case.build_campaign(seeds, optimizer=optimizer)
+        oracle = _campaign_fingerprint(
+            oracle_campaign,
+            oracle_campaign.run(checkpoint_dir=ckpt, keep_history=True),
+            seeds,
+        )
+        rounds = oracle["rounds"]
+        assert rounds >= 2  # otherwise "mid-run" below is meaningless
+        mid = max(1, rounds // 2)
+        resumed_campaign = case.build_campaign(seeds, optimizer=optimizer)
+        outcome = resumed_campaign.run(
+            resume_from=os.path.join(ckpt, f"round-{mid:05d}.snapshot")
+        )
+        assert outcome.resumed_from_round == mid
+        resumed = _campaign_fingerprint(resumed_campaign, outcome, seeds)
+        # Full parity including the hit/miss accounting — snapshot restore
+        # carries the cache content and counters exactly.
+        assert resumed == oracle
+
+    def test_resume_from_latest_in_directory(self, tmp_path):
+        (case,) = get_suite("drill")
+        ckpt = str(tmp_path / "ckpt")
+        first = case.build_campaign([0])
+        oracle = _campaign_fingerprint(first, first.run(checkpoint_dir=ckpt), [0])
+        assert os.path.exists(os.path.join(ckpt, LATEST_SNAPSHOT))
+        second = case.build_campaign([0])
+        outcome = second.run(resume_from=ckpt)
+        # The latest snapshot is the finished campaign: resume loads it and
+        # the run loop immediately agrees it is done.
+        assert outcome.resumed_from_round == oracle["rounds"]
+        assert _campaign_fingerprint(second, outcome, [0]) == oracle
+
+    def test_resume_from_missing_path_rejected(self, tmp_path):
+        (case,) = get_suite("drill")
+        campaign = case.build_campaign([0])
+        with pytest.raises(FileNotFoundError):
+            campaign.run(resume_from=str(tmp_path / "nowhere"))
+
+    def test_empty_checkpoint_dir_is_a_cold_start(self, tmp_path):
+        (case,) = get_suite("drill")
+        ckpt = str(tmp_path / "ckpt")
+        baseline_campaign = case.build_campaign([0])
+        baseline = _campaign_fingerprint(
+            baseline_campaign, baseline_campaign.run(), [0]
+        )
+        # resume_from pointing at the (empty) checkpoint dir of a run that
+        # died before its first checkpoint: legitimate cold start.
+        os.makedirs(ckpt)
+        campaign = case.build_campaign([0])
+        outcome = campaign.run(checkpoint_dir=ckpt, resume_from=ckpt)
+        assert outcome.resumed_from_round is None
+        assert _campaign_fingerprint(campaign, outcome, [0]) == baseline
+
+    def test_snapshot_identity_mismatch_rejected(self, tmp_path):
+        (case,) = get_suite("drill")
+        ckpt = str(tmp_path / "ckpt")
+        donor = case.build_campaign([0])
+        donor.run(checkpoint_dir=ckpt)
+        receiver = case.build_campaign([0, 1])  # different seed set
+        with pytest.raises(ValueError, match="seeds"):
+            receiver.run(resume_from=ckpt)
+
+    def test_checkpoint_every_thins_history(self, tmp_path):
+        (case,) = get_suite("drill")
+        ckpt = str(tmp_path / "ckpt")
+        campaign = case.build_campaign([0])
+        outcome = campaign.run(
+            checkpoint_dir=ckpt, checkpoint_every=2, keep_history=True
+        )
+        history = sorted(
+            name for name in os.listdir(ckpt) if name.startswith("round-")
+        )
+        expected = [
+            f"round-{r:05d}.snapshot"
+            for r in range(2, outcome.rounds + 1, 2)
+        ]
+        assert history == expected
+
+
+class TestPersistentCampaignCache:
+    def test_cross_process_warm_start_is_bit_identical(self, tmp_path):
+        (case,) = get_suite("drill")
+        cache_path = str(tmp_path / "cache.evc")
+        cold = case.build_campaign([0], cache_path=cache_path)
+        try:
+            cold_fp = _campaign_fingerprint(cold, cold.run(), [0])
+        finally:
+            cold.close()
+        assert cold_fp["cache_misses"] > 0
+        warm = case.build_campaign([0], cache_path=cache_path)
+        try:
+            outcome = warm.run()
+            warm_fp = _campaign_fingerprint(warm, outcome, [0])
+        finally:
+            warm.close()
+        # Every previously computed pair is served from disk...
+        assert warm.cache.preloaded_pairs > 0
+        assert warm.cache.warm_hits > 0
+        assert warm_fp["cache_misses"] == 0
+        assert warm_fp["engine_calls"] < cold_fp["engine_calls"]
+        # ...with byte-identical trajectories and final cache content
+        # (hit/miss accounting legitimately differs: that is the warm
+        # start working, so it is excluded exactly as in the drill).
+        from repro.resilience.drill import _strip_counters
+
+        assert _strip_counters(warm_fp) == _strip_counters(cold_fp)
+
+
+class TestDrill:
+    def test_drill_suite_green_with_every_site_fired(self, tmp_path):
+        report = drill_suite(
+            seeds=[0], occurrences=(1,), workdir=str(tmp_path / "drill")
+        )
+        assert report.ok, report.format()
+        # Occurrence 1 of every registered site is reached on the drill
+        # workload — each fault actually fired and each resume matched.
+        assert report.fired_count == len(registered_fault_sites())
+        assert "byte-identical" in report.format()
+
+    def test_cli_sites_lists_registry(self, capsys):
+        from repro.resilience.__main__ import main
+
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == sorted(set(out))  # registration order is stable here
+        assert "snapshot.write" in out
+
+
+class TestBenchResilienceIntegration:
+    def test_v6_payload_reports_warm_cache_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_suite("tiny", seeds=[0], cache_dir=cache_dir)
+        warm = run_suite("tiny", seeds=[0], cache_dir=cache_dir)
+        assert cold["schema"] == "repro.bench/v6"
+        cold_block = cold["cases"][0]["resilience"]["cache"]
+        warm_block = warm["cases"][0]["resilience"]["cache"]
+        assert cold_block["warm_hits"] == 0
+        assert warm_block["preloaded_pairs"] > 0
+        assert warm_block["warm_hits"] > 0
+        assert warm_block["repaired_bytes"] == 0
+        # Trajectories are unaffected by the warm start.
+        t_cold = cold["cases"][0]["per_seed"][0]
+        t_warm = warm["cases"][0]["per_seed"][0]
+        assert t_warm["best_sizing"] == t_cold["best_sizing"]
+
+    def test_unpersisted_run_reports_null_block(self):
+        payload = run_suite("tiny", seeds=[0])
+        resilience = payload["cases"][0]["resilience"]
+        assert resilience == {"resumed_from_round": None, "cache": None}
+
+
+class TestTracerSinkDurability:
+    def test_sink_streams_to_partial_and_finalizes_on_close(self, tmp_path):
+        from repro.obs import tracing
+
+        sink = tmp_path / "trace.jsonl"
+        partial = tmp_path / "trace.jsonl.partial"
+        with tracing(sink=str(sink)) as tracer:
+            tracer.event("drill.mark", {"n": 1})
+            # Mid-run the stream lives in the .partial sidecar,
+            # line-buffered: a kill here loses at most a torn final line.
+            assert partial.exists()
+            assert not sink.exists()
+            assert '"drill.mark"' in partial.read_text()
+        assert sink.exists()
+        assert not partial.exists()
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert any(record["name"] == "drill.mark" for record in records)
