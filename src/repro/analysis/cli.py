@@ -62,6 +62,7 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
         optimizer=args.optimizer,
         with_contracts=not args.no_contracts,
         resume_parity=args.resume_parity,
+        refit_mode=args.refit_mode,
     )
     print(report.format())
     return 0 if report.ok else 1
@@ -131,6 +132,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--optimizer",
         default=None,
         help="search-strategy override for every case",
+    )
+    determinism.add_argument(
+        "--refit-mode",
+        default=None,
+        choices=("batched", "sequential"),
+        help="surrogate-refit dispatch override (batched: one stacked "
+        "multi-seed training kernel per campaign round)",
     )
     determinism.add_argument(
         "--resume-parity",

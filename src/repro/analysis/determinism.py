@@ -69,6 +69,8 @@ def fingerprint_outcome(
         "engine_calls": outcome.engine_calls,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,
+        "refit_rounds": outcome.refit_rounds,
+        "batched_kernel_calls": outcome.batched_kernel_calls,
         "cache_sha256": cache_digest,
     }
 
@@ -82,10 +84,15 @@ def _run_fingerprint(
     checkpoint_dir: Optional[str] = None,
     keep_history: bool = False,
     resume_from: Optional[str] = None,
+    refit_mode: Optional[str] = None,
 ) -> Tuple[Dict[str, Any], int]:
     """Run one bench case once; returns (fingerprint, rounds run)."""
     campaign = case.build_campaign(
-        seeds, backend=backend, corner_engine=corner_engine, optimizer=optimizer
+        seeds,
+        backend=backend,
+        corner_engine=corner_engine,
+        optimizer=optimizer,
+        refit_mode=refit_mode,
     )
     outcome = campaign.run(
         checkpoint_dir=checkpoint_dir,
@@ -172,6 +179,7 @@ def audit_case(
     optimizer: Optional[str] = None,
     with_contracts: bool = True,
     resume_parity: bool = False,
+    refit_mode: Optional[str] = None,
 ) -> CaseAudit:
     """Run one case twice in-process and byte-compare the fingerprints.
 
@@ -191,6 +199,7 @@ def audit_case(
                     optimizer,
                     checkpoint_dir=ckpt_dir,
                     keep_history=True,
+                    refit_mode=refit_mode,
                 )
                 mid = max(1, rounds // 2)
                 second, _ = _run_fingerprint(
@@ -200,10 +209,15 @@ def audit_case(
                     corner_engine,
                     optimizer,
                     resume_from=os.path.join(ckpt_dir, f"round-{mid:05d}.snapshot"),
+                    refit_mode=refit_mode,
                 )
         else:
-            first, _ = _run_fingerprint(case, seeds, backend, corner_engine, optimizer)
-            second, _ = _run_fingerprint(case, seeds, backend, corner_engine, optimizer)
+            first, _ = _run_fingerprint(
+                case, seeds, backend, corner_engine, optimizer, refit_mode=refit_mode
+            )
+            second, _ = _run_fingerprint(
+                case, seeds, backend, corner_engine, optimizer, refit_mode=refit_mode
+            )
     first_bytes = json.dumps(first, sort_keys=True).encode("utf-8")
     second_bytes = json.dumps(second, sort_keys=True).encode("utf-8")
     identical = first_bytes == second_bytes
@@ -223,6 +237,7 @@ def audit_suite(
     optimizer: Optional[str] = None,
     with_contracts: bool = True,
     resume_parity: bool = False,
+    refit_mode: Optional[str] = None,
 ) -> AuditReport:
     """Audit every case of a bench suite; see :class:`AuditReport`."""
     from repro.bench.registry import get_suite
@@ -239,6 +254,7 @@ def audit_suite(
                 optimizer=optimizer,
                 with_contracts=with_contracts,
                 resume_parity=resume_parity,
+                refit_mode=refit_mode,
             )
             for case in get_suite(suite)
         ),

@@ -121,6 +121,7 @@ class BenchCase:
         corner_engine: Optional[str] = None,
         optimizer: Optional[str] = None,
         cache_path: Optional[str] = None,
+        refit_mode: Optional[str] = None,
     ) -> "Campaign":
         """The ready-to-run multi-seed :class:`Campaign` for this case.
 
@@ -148,6 +149,7 @@ class BenchCase:
             corner_engine=corner_engine,
             optimizer=optimizer if optimizer is not None else self.optimizer,
             max_phases=self.max_phases,
+            refit_mode=refit_mode,
         )
 
 

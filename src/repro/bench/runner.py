@@ -17,25 +17,29 @@ run in lockstep rounds sharing single stacked ``evaluate_corners`` passes
 (far fewer, larger evaluator calls), bit-exact per seed versus
 ``--execution sequential``, the one-seed-at-a-time oracle path.
 
-The JSON artifact schema is ``repro.bench/v6`` (see README "Benchmarking").
-Relative to v5 it adds a per-case ``resilience`` block — the round the
-campaign resumed from (``--resume``, ``null`` for uninterrupted runs) and
-the persistent evaluation-cache accounting (``--cache-dir``: store path,
-pairs preloaded from disk, warm/cold hit split, bytes trimmed repairing a
-torn tail; ``null`` without a store) — and the artifact itself is written
-atomically (temp file + fsync + rename), so a crashed run never leaves a
-half-written BENCH JSON:
+The JSON artifact schema is ``repro.bench/v7`` (see README "Benchmarking").
+Relative to v6 it adds the surrogate-refit accounting: a per-case ``refit``
+block (total ``refit_seconds``, the number of lockstep rounds that actually
+refit, how many stacked multi-seed kernel dispatches ran, and the
+``refit_mode``) plus the top-level ``refit_mode``.  v6 added the per-case
+``resilience`` block — the round the campaign resumed from (``--resume``,
+``null`` for uninterrupted runs) and the persistent evaluation-cache
+accounting (``--cache-dir``: store path, pairs preloaded from disk,
+warm/cold hit split, bytes trimmed repairing a torn tail; ``null`` without
+a store).  The artifact itself is written atomically (temp file + fsync +
+rename), so a crashed run never leaves a half-written BENCH JSON:
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v6",
+      "schema": "repro.bench/v7",
       "suite": "smoke",
       "seeds": [0, 1, 2],
       "backend": "fused",
       "corner_engine": "stacked",
       "optimizer": "mixed",
       "execution": "campaign",
+      "refit_mode": "batched",
       "cases": [
         {
           "name": "two_stage_opamp/nominal/nine",
@@ -48,6 +52,8 @@ half-written BENCH JSON:
           "refit_seconds": 0.12, "eval_seconds": 0.01, "wall_seconds": 0.2,
           "eval": {"engine_calls": 31, "rounds": 29,
                    "cache_hits": 27, "cache_misses": 9486},
+          "refit": {"refit_seconds": 0.12, "refit_rounds": 26,
+                    "batched_kernel_calls": 24, "refit_mode": "batched"},
           "resilience": {"resumed_from_round": null,
                          "cache": {"path": "cache/two_stage.evc",
                                    "preloaded_pairs": 9486,
@@ -88,10 +94,10 @@ from repro.obs import diff_snapshots, get_tracer, profiled, tracing, tracing_ena
 from repro.obs.logs import add_logging_flags, configure_cli_logging
 from repro.resilience import atomic_write_json
 from repro.search.optimizer import available_optimizers
-from repro.search.progressive import ProgressiveConfig, ProgressiveResult
+from repro.search.progressive import REFIT_MODES, ProgressiveConfig, ProgressiveResult
 from repro.search.sizing import size_problem
 
-SCHEMA = "repro.bench/v6"
+SCHEMA = "repro.bench/v7"
 
 module_logger = logging.getLogger(__name__)
 
@@ -146,14 +152,18 @@ def run_case(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     cache_dir: Optional[str] = None,
+    refit_mode: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one benchmark case across seeds and aggregate the statistics.
 
-    ``backend``, ``corner_engine`` and ``optimizer`` override the case's
-    configuration when given (``None`` defers to the case, which defers to
-    the library defaults).  ``execution`` selects the multi-seed
-    vectorized campaign (default) or the sequential per-seed oracle; the
-    two are bit-exact per seed and differ only in evaluator batching.
+    ``backend``, ``corner_engine``, ``optimizer`` and ``refit_mode``
+    override the case's configuration when given (``None`` defers to the
+    case, which defers to the library defaults).  ``execution`` selects the
+    multi-seed vectorized campaign (default) or the sequential per-seed
+    oracle; the two are bit-exact per seed and differ only in evaluator
+    batching.  ``refit_mode`` likewise trades dispatch only: ``"batched"``
+    trains all live seeds' surrogate refits through one stacked kernel per
+    round, ``"sequential"`` refits inline, bit-identically.
 
     The resilience options are campaign-execution only.  ``checkpoint_dir``
     snapshots the campaign under ``<dir>/<case-slug>/`` after every round;
@@ -183,6 +193,9 @@ def run_case(
         corner_engine if corner_engine is not None else ProgressiveConfig().corner_engine
     )
     effective_optimizer = optimizer if optimizer is not None else case.optimizer
+    effective_refit_mode = (
+        refit_mode if refit_mode is not None else ProgressiveConfig().refit_mode
+    )
 
     module_logger.info(
         "case %s: %d seed(s), %s execution", case.name, len(seeds), execution
@@ -206,6 +219,7 @@ def run_case(
                 corner_engine=corner_engine,
                 optimizer=effective_optimizer,
                 cache_path=cache_path,
+                refit_mode=refit_mode,
             )
             try:
                 outcome = campaign.run(
@@ -237,6 +251,10 @@ def run_case(
                 "cache_misses": outcome.cache_misses,
             }
             eval_seconds = outcome.eval_seconds
+            refit_counts: Dict[str, Any] = {
+                "refit_rounds": outcome.refit_rounds,
+                "batched_kernel_calls": outcome.batched_kernel_calls,
+            }
         else:
             results = []
             for seed in seeds:
@@ -254,6 +272,7 @@ def run_case(
                         max_phases=case.max_phases,
                         corner_engine=corner_engine,
                         optimizer=effective_optimizer,
+                        refit_mode=refit_mode,
                     )
                 )
             eval_block = {
@@ -264,6 +283,9 @@ def run_case(
             }
             eval_seconds = sum(result.eval_seconds for result in results)
             resilience = {"resumed_from_round": None, "cache": None}
+            # Round-level counters are campaign-wide quantities; the
+            # one-seed-at-a-time oracle path has no shared rounds to count.
+            refit_counts = {"refit_rounds": None, "batched_kernel_calls": None}
     wall = wall_timer.seconds
 
     per_seed = [_per_seed_record(seed, result) for seed, result in zip(seeds, results)]
@@ -287,6 +309,12 @@ def run_case(
         "eval_seconds": round(eval_seconds, 6),
         "wall_seconds": round(wall, 6),
         "eval": eval_block,
+        "refit": {
+            "refit_seconds": round(sum(r["refit_seconds"] for r in per_seed), 6),
+            "refit_rounds": refit_counts["refit_rounds"],
+            "batched_kernel_calls": refit_counts["batched_kernel_calls"],
+            "refit_mode": effective_refit_mode,
+        },
         "resilience": resilience,
         "telemetry": _case_telemetry(metrics_before),
         "per_seed": per_seed,
@@ -308,8 +336,9 @@ def run_suite(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     cache_dir: Optional[str] = None,
+    refit_mode: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v6`` payload."""
+    """Run every case of a suite; returns the ``repro.bench/v7`` payload."""
     cases = get_suite(suite)
     module_logger.info("suite %r: %d case(s)", suite, len(cases))
     with profiled("bench.run_suite", suite=suite, cases=len(cases)) as wall_timer:
@@ -324,6 +353,7 @@ def run_suite(
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
                 cache_dir=cache_dir,
+                refit_mode=refit_mode,
             )
             for case in cases
         ]
@@ -337,6 +367,9 @@ def run_suite(
         "corner_engine": _uniform([result["corner_engine"] for result in case_results]),
         "optimizer": _uniform([result["optimizer"] for result in case_results]),
         "execution": execution,
+        "refit_mode": _uniform(
+            [result["refit"]["refit_mode"] for result in case_results]
+        ),
         "cases": case_results,
         "totals": {
             "cases": len(case_results),
@@ -417,6 +450,84 @@ def cross_check(suite: str = "tiny", seed: int = 0) -> int:
     return 0 if parity and faster else 1
 
 
+#: Schema of the optional ``--refit-cross-check`` artifact.
+REFIT_CHECK_SCHEMA = "repro.bench.refit/v1"
+
+
+def refit_cross_check(
+    suite: str = "smoke", seeds: int = 8, output: Optional[str] = None
+) -> int:
+    """Batched-vs-sequential refit guard; returns a process exit code.
+
+    Runs the whole ``suite`` once per ``refit_mode`` at the same seeds and
+    checks the tentpole guarantee: the batched round-level refit dispatch
+    must be **bit-identical per seed** to the sequential inline path —
+    same winning sizings, same evaluation counts, same solved verdicts for
+    every (case, seed) pair.  The refit wall times of the two runs are
+    reported alongside the verdict (and written to ``output`` when given);
+    the speedup is informational, not gating — wall-clock ratios flake on
+    shared CI runners, bits don't.
+
+    The sequential run goes first, so the batched measurement never pays
+    the process warm-up.
+    """
+    seed_range = range(seeds)
+    sequential = run_suite(suite, seeds=seed_range, refit_mode="sequential")
+    batched = run_suite(suite, seeds=seed_range, refit_mode="batched")
+    mismatches: List[str] = []
+    for seq_case, bat_case in zip(sequential["cases"], batched["cases"]):
+        for seq_seed, bat_seed in zip(seq_case["per_seed"], bat_case["per_seed"]):
+            same = (
+                seq_seed["best_sizing"] == bat_seed["best_sizing"]
+                and seq_seed["evaluations"] == bat_seed["evaluations"]
+                and seq_seed["solved"] == bat_seed["solved"]
+            )
+            if not same:
+                mismatches.append(f"{seq_case['name']} seed {seq_seed['seed']}")
+    seq_refit = sum(case["refit_seconds"] for case in sequential["cases"])
+    bat_refit = sum(case["refit_seconds"] for case in batched["cases"])
+    speedup = seq_refit / bat_refit if bat_refit else float("inf")
+    parity = not mismatches
+    for mismatch in mismatches:
+        module_logger.error("refit-cross-check diverged: %s", mismatch)
+    if output is not None:
+        write_bench_json(
+            {
+                "schema": REFIT_CHECK_SCHEMA,
+                "suite": suite,
+                "seeds": list(seed_range),
+                "parity": parity,
+                "sequential_refit_seconds": round(seq_refit, 6),
+                "batched_refit_seconds": round(bat_refit, 6),
+                "refit_speedup": round(speedup, 3),
+                "cases": [
+                    {
+                        "name": seq_case["name"],
+                        "sequential_refit_seconds": seq_case["refit_seconds"],
+                        "batched_refit_seconds": bat_case["refit_seconds"],
+                        "batched_kernel_calls": bat_case["refit"][
+                            "batched_kernel_calls"
+                        ],
+                        "refit_rounds": bat_case["refit"]["refit_rounds"],
+                        "success_rate": bat_case["success_rate"],
+                    }
+                    for seq_case, bat_case in zip(
+                        sequential["cases"], batched["cases"]
+                    )
+                ],
+            },
+            output,
+        )
+        module_logger.info("wrote %s", output)
+    # The verdict is the machine-readable output; it stays on stdout.
+    print(
+        f"refit-cross-check {'PASS' if parity else 'FAIL'} "
+        f"(batched {bat_refit:.3f}s vs sequential {seq_refit:.3f}s, "
+        f"{speedup:.2f}x, {seeds} seeds)"
+    )
+    return 0 if parity else 1
+
+
 def format_summary(payload: Dict[str, Any]) -> str:
     """Human-readable one-line-per-case table for CLI output."""
     lines = [
@@ -424,6 +535,7 @@ def format_summary(payload: Dict[str, Any]) -> str:
         f"| backend {payload['backend']} "
         f"| corners {payload['corner_engine']} "
         f"| optimizer {payload['optimizer']} "
+        f"| refit {payload['refit_mode']} "
         f"| {payload['execution']} execution "
         f"| {payload['totals']['wall_seconds']:.1f} s total",
         f"{'case':48s} {'dims':>4s} {'succ':>6s} {'evals':>6s} "
@@ -536,11 +648,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "one seed at a time (bit-exact per seed, more evaluator calls)",
     )
     parser.add_argument(
+        "--refit-mode",
+        default=None,
+        choices=REFIT_MODES,
+        help="surrogate-refit dispatch override (default: the library "
+        "default, batched — one stacked multi-seed training kernel per "
+        "campaign round; sequential is the inline per-seed parity oracle)",
+    )
+    parser.add_argument(
         "--cross-check",
         action="store_true",
         help="instead of running the suite, run its first case once per "
         "backend and verify trajectory parity plus fused refit <= autodiff "
         "refit (the CI backend guard)",
+    )
+    parser.add_argument(
+        "--refit-cross-check",
+        action="store_true",
+        help="instead of running the suite once, run it once per refit "
+        "mode and verify per-seed trajectory parity (batched vs "
+        "sequential); --seeds sets the fleet size (default 8), --output "
+        "writes the speedup artifact",
     )
     parser.add_argument(
         "--trace",
@@ -584,6 +712,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_listing())
         return 2
 
+    if args.cross_check and args.refit_cross_check:
+        parser.error("--cross-check and --refit-cross-check are exclusive")
     if args.cross_check:
         # The guard has its own fixed protocol (one seed, both backends, no
         # artifact); reject flags it would silently ignore.
@@ -595,6 +725,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--backend", args.backend),
                 ("--corner-engine", args.corner_engine),
                 ("--optimizer", args.optimizer),
+                ("--refit-mode", args.refit_mode),
                 ("--trace", args.trace),
                 ("--checkpoint-dir", args.checkpoint_dir),
                 ("--cache-dir", args.cache_dir),
@@ -608,6 +739,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if dropped:
             parser.error(f"--cross-check does not accept {', '.join(dropped)}")
         return cross_check(args.suite)
+    if args.refit_cross_check:
+        # Fixed two-run protocol over both refit modes; --seeds and
+        # --output are meaningful, everything else would be ignored.
+        dropped = [
+            flag
+            for flag, value in (
+                ("--backend", args.backend),
+                ("--corner-engine", args.corner_engine),
+                ("--optimizer", args.optimizer),
+                ("--refit-mode", args.refit_mode),
+                ("--trace", args.trace),
+                ("--checkpoint-dir", args.checkpoint_dir),
+                ("--cache-dir", args.cache_dir),
+            )
+            if value is not None
+        ]
+        if args.fail_under:
+            dropped.append("--fail-under")
+        if args.resume:
+            dropped.append("--resume")
+        if dropped:
+            parser.error(f"--refit-cross-check does not accept {', '.join(dropped)}")
+        seeds = 8 if args.seeds is None else args.seeds
+        if seeds < 1:
+            parser.error("--seeds must be at least 1")
+        return refit_cross_check(args.suite, seeds=seeds, output=args.output)
 
     seeds = 3 if args.seeds is None else args.seeds
     if seeds < 1:
@@ -634,6 +791,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             cache_dir=args.cache_dir,
+            refit_mode=args.refit_mode,
         )
 
     if args.trace:

@@ -1,6 +1,14 @@
 """NumPy neural-network library used by the surrogate and the RL baselines."""
 
-from repro.nn.fused import FusedAdam, FusedMLP
+from repro.nn.fused import (
+    BatchedFusedAdam,
+    BatchedFusedMLP,
+    FusedAdam,
+    FusedFitJob,
+    FusedMLP,
+    fit_batched,
+    fit_job_signature,
+)
 from repro.nn.losses import huber_loss, mae_loss, mse_loss
 from repro.nn.modules import MLP, Activation, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
@@ -14,8 +22,13 @@ from repro.nn.training import (
 
 __all__ = [
     "BACKENDS",
+    "BatchedFusedAdam",
+    "BatchedFusedMLP",
     "FusedAdam",
+    "FusedFitJob",
     "FusedMLP",
+    "fit_batched",
+    "fit_job_signature",
     "MLP",
     "Activation",
     "Linear",

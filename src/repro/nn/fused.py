@@ -27,12 +27,14 @@ Weights round-trip with the autodiff :class:`~repro.nn.modules.MLP` via
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.contracts import ArraySpec, contract
 from repro.nn.modules import MLP, Activation, Linear
+from repro.nn.optim import bias_correction
 from repro.obs import span
 
 
@@ -422,10 +424,463 @@ class FusedAdam:
         np.multiply(s1, 1.0 - self.beta2, out=s1)
         np.add(v, s1, out=v)
         # theta -= lr * m_hat / (sqrt(v_hat) + eps)
-        np.divide(m, 1.0 - self.beta1 ** self._t, out=s1)
-        np.divide(v, 1.0 - self.beta2 ** self._t, out=s2)
+        np.divide(m, bias_correction(self.beta1, self._t), out=s1)
+        np.divide(v, bias_correction(self.beta2, self._t), out=s2)
         np.sqrt(s2, out=s2)
         np.add(s2, self.eps, out=s2)
         np.multiply(s1, self.lr, out=s1)
         np.divide(s1, s2, out=s1)
         np.subtract(self.theta, s1, out=self.theta)
+
+
+
+class BatchedFusedMLP:
+    """``n_seeds`` independent :class:`FusedMLP` replicas trained as one tensor.
+
+    The same tensorization move the corner engine applied to evaluation,
+    applied to training: the seeds' flat parameter vectors stack into a
+    ``(n_seeds, n_params)`` tensor whose per-layer weight/bias arrays are
+    *views* (``theta[:, w_slice].reshape(n_seeds, fan_in, fan_out)``), so one
+    broadcast forward/backward step advances every seed at once.  All seeds
+    must share one architecture (see :func:`fit_job_signature`) **and one
+    minibatch shape per step**: a 3-D ``matmul`` runs each seed's slice
+    through the same 2-D gemm the single-seed path runs, so same-shape
+    stacking is bit-transparent, whereas zero-padding ragged rows is *not*
+    (BLAS picks row-count-dependent kernels — a padded gemm's first rows can
+    differ from the unpadded gemm's in the last ulp).  That is why
+    :func:`fit_batched` buckets jobs by dataset geometry instead of padding.
+
+    Per-seed loss reduction (no cross-seed leakage) happens over each seed's
+    own contiguous ``(rows, out)`` block, the same shape the single-seed
+    path reduces, so NumPy's pairwise summation takes the same tree and the
+    same bits.  Weights move between the stacked tensor and the per-seed
+    models through :meth:`gather` / :meth:`scatter`, which copy the flat
+    buffers directly (the flat layout *is* the ``state_dict`` layout, W0 b0
+    W1 b1 ...), so checkpoint snapshots keep their per-member format.
+    Parity is locked by ``tests/test_batched_refit.py``.
+    """
+
+    def __init__(self, template: FusedMLP, n_seeds: int) -> None:
+        if n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+        self.n_seeds = n_seeds
+        self.in_features = template.in_features
+        self.out_features = template.out_features
+        self.hidden = template.hidden
+        self._activations = template._activations
+        self._shapes = list(template._shapes)
+        total = template.num_parameters
+        self.theta = np.empty((n_seeds, total), dtype=np.float64)
+        self._grad = np.empty((n_seeds, total), dtype=np.float64)
+        self._scratch: Dict[int, tuple] = {}
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._grad_weights: List[np.ndarray] = []
+        self._grad_biases: List[np.ndarray] = []
+        offset = 0
+        for fan_in, fan_out in self._shapes:
+            w_slice = slice(offset, offset + fan_in * fan_out)
+            offset += fan_in * fan_out
+            b_slice = slice(offset, offset + fan_out)
+            offset += fan_out
+            self._weights.append(self.theta[:, w_slice].reshape(n_seeds, fan_in, fan_out))
+            self._biases.append(self.theta[:, b_slice])
+            self._grad_weights.append(
+                self._grad[:, w_slice].reshape(n_seeds, fan_in, fan_out)
+            )
+            self._grad_biases.append(self._grad[:, b_slice])
+
+    @property
+    def num_parameters(self) -> int:
+        return self.theta.shape[1]
+
+    def gather(self, models: Sequence[FusedMLP]) -> None:
+        """Copy each model's flat parameter vector into the stacked tensor."""
+        if len(models) != self.n_seeds:
+            raise ValueError(f"expected {self.n_seeds} models, got {len(models)}")
+        for index, model in enumerate(models):
+            if model._shapes != self._shapes or model._activations != self._activations:
+                raise ValueError(f"model {index} architecture does not match the template")
+            self.theta[index] = model.theta
+
+    def scatter(self, models: Sequence[FusedMLP]) -> None:
+        """Write the stacked parameters back into the per-seed models."""
+        if len(models) != self.n_seeds:
+            raise ValueError(f"expected {self.n_seeds} models, got {len(models)}")
+        for index, model in enumerate(models):
+            model.theta[...] = self.theta[index]
+
+    def _scratch_for(self, rows: int) -> tuple:
+        """Stacked per-layer buffers for a given minibatch row count.
+
+        Same role as :meth:`FusedMLP._scratch_for` with a leading seed axis;
+        allocated once per distinct row count, then reused.
+        """
+        cached = self._scratch.get(rows)
+        if cached is None:
+            z_buffers, a_buffers, g_buffers, tmp_buffers = [], [], [], []
+            for (_, fan_out), act in zip(self._shapes, self._activations):
+                # analysis: allow(hot-loop-alloc) one-time scratch per row count
+                z = np.empty((self.n_seeds, rows, fan_out))
+                z_buffers.append(z)
+                if act == "identity":
+                    a_buffers.append(z)
+                else:
+                    # analysis: allow(hot-loop-alloc) one-time scratch
+                    a_buffers.append(np.empty((self.n_seeds, rows, fan_out)))
+                # analysis: allow(hot-loop-alloc) one-time scratch
+                g_buffers.append(np.empty((self.n_seeds, rows, fan_out)))
+                # analysis: allow(hot-loop-alloc) one-time scratch
+                tmp_buffers.append(np.empty((self.n_seeds, rows, fan_out)))
+            cached = (z_buffers, a_buffers, g_buffers, tmp_buffers)
+            self._scratch[rows] = cached
+        return cached
+
+    def loss_and_grad(self, inputs: np.ndarray, targets: np.ndarray) -> List[float]:
+        """One fused MSE step over all seeds at once.
+
+        ``inputs``/``targets`` are ``(n_seeds, rows, features)`` — every
+        seed contributes the same number of rows (callers bucket by
+        geometry), so every ``matmul``/ufunc below is the single-seed op
+        with one leading batch axis and the bits come out identical to
+        ``n_seeds`` independent :meth:`FusedMLP.loss_and_grad` calls.
+
+        Returns the per-seed losses; the gradients land in ``self._grad``
+        (valid until the next call).
+        """
+        rows = inputs.shape[1]
+        weights, biases = self._weights, self._biases
+        activations = self._activations
+        last = len(weights) - 1
+        if inputs.shape[0] != self.n_seeds or targets.shape != (
+            self.n_seeds, rows, self._shapes[last][1]
+        ):
+            raise ValueError(
+                f"batched step expects inputs ({self.n_seeds}, rows, in) and "
+                f"matching targets, got {inputs.shape} / {targets.shape}"
+            )
+        z_buffers, a_buffers, g_buffers, tmp_buffers = self._scratch_for(rows)
+
+        # Forward, caching pre- and post-activation values per layer.
+        h = inputs
+        for index in range(last + 1):
+            z = z_buffers[index]
+            np.matmul(h, weights[index], out=z)
+            np.add(z, biases[index][:, None, :], out=z)
+            act = activations[index]
+            if act == "tanh":
+                h = np.tanh(z, out=a_buffers[index])
+            elif act == "relu":
+                h = np.maximum(z, 0.0, out=a_buffers[index])
+            elif act == "sigmoid":
+                a = a_buffers[index]
+                np.negative(z, out=a)
+                np.exp(a, out=a)
+                np.add(a, 1.0, out=a)
+                h = np.divide(1.0, a, out=a)
+            else:
+                h = z
+        prediction = h
+
+        # Loss and its gradient seed.  The per-seed mean divides by one
+        # seed's element count, and each seed's sum reduces its own
+        # contiguous (rows, out) block — same tree, same bits as solo.
+        diff = g_buffers[last]
+        np.subtract(prediction, targets, out=diff)
+        squared = tmp_buffers[last]
+        np.multiply(diff, diff, out=squared)
+        inv_count = 1.0 / (rows * self._shapes[last][1])
+        losses = [
+            float(squared[index].sum() * inv_count) for index in range(self.n_seeds)
+        ]
+        np.multiply(diff, inv_count, out=diff)
+        grad_out = np.add(diff, diff, out=diff)
+
+        # Backward through the stack, writing straight into the flat grads.
+        for index in range(last, -1, -1):
+            act = activations[index]
+            if act == "tanh":
+                a, tmp = a_buffers[index], tmp_buffers[index]
+                np.multiply(a, a, out=tmp)
+                np.subtract(1.0, tmp, out=tmp)
+                np.multiply(grad_out, tmp, out=grad_out)
+            elif act == "relu":
+                np.multiply(grad_out, z_buffers[index] > 0.0, out=grad_out)
+            elif act == "sigmoid":
+                a, tmp = a_buffers[index], tmp_buffers[index]
+                np.multiply(grad_out, a, out=grad_out)
+                np.subtract(1.0, a, out=tmp)
+                np.multiply(grad_out, tmp, out=grad_out)
+            h = inputs if index == 0 else a_buffers[index - 1]
+            np.matmul(h.transpose(0, 2, 1), grad_out, out=self._grad_weights[index])
+            np.add.reduce(grad_out, axis=1, out=self._grad_biases[index])
+            if index > 0:
+                grad_out = np.matmul(
+                    grad_out,
+                    weights[index].transpose(0, 2, 1),
+                    out=g_buffers[index - 1],
+                )
+        return losses
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedFusedMLP(seeds={self.n_seeds}, in={self.in_features}, "
+            f"hidden={self.hidden}, out={self.out_features}, "
+            f"params={self.num_parameters})"
+        )
+
+
+class BatchedFusedAdam:
+    """Adam over the ``(n_seeds, n_params)`` stacked parameter tensor.
+
+    Runs :class:`FusedAdam`'s exact ``out=`` update sequence with a leading
+    seed axis.  Each seed keeps its own integer step count (seeds may
+    arrive mid-training with different histories), and the bias corrections
+    are computed with the same Python ``**`` on that count
+    (:func:`repro.nn.optim.bias_correction`) before broadcasting, so every
+    seed's update is bit-identical to its solo :class:`FusedAdam` one.
+    """
+
+    def __init__(
+        self,
+        model: BatchedFusedMLP,
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.model = model
+        self.theta = model.theta
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = np.zeros_like(self.theta)
+        self._v = np.zeros_like(self.theta)
+        self._s1 = np.empty_like(self.theta)
+        self._s2 = np.empty_like(self.theta)
+        self._t: List[int] = [0] * model.n_seeds
+        # Per-seed bias-correction denominators, broadcast over parameters.
+        self._bc1 = np.empty((model.n_seeds, 1), dtype=np.float64)
+        self._bc2 = np.empty((model.n_seeds, 1), dtype=np.float64)
+
+    def gather(self, optimizers: Sequence[FusedAdam]) -> None:
+        """Copy each seed's Adam moments and step count into the stack."""
+        if len(optimizers) != self.model.n_seeds:
+            raise ValueError(
+                f"expected {self.model.n_seeds} optimizers, got {len(optimizers)}"
+            )
+        for index, optimizer in enumerate(optimizers):
+            self._m[index] = optimizer._m
+            self._v[index] = optimizer._v
+            self._t[index] = optimizer._t
+
+    def scatter(self, optimizers: Sequence[FusedAdam]) -> None:
+        """Write the stacked moments and step counts back per seed."""
+        if len(optimizers) != self.model.n_seeds:
+            raise ValueError(
+                f"expected {self.model.n_seeds} optimizers, got {len(optimizers)}"
+            )
+        for index, optimizer in enumerate(optimizers):
+            optimizer._m[...] = self._m[index]
+            optimizer._v[...] = self._v[index]
+            optimizer._t = self._t[index]
+
+    def step(self, grad: np.ndarray) -> None:
+        """Apply one Adam update across all seeds for the stacked gradient."""
+        if grad.shape != self.theta.shape:
+            raise ValueError(f"gradient shape {grad.shape} vs theta {self.theta.shape}")
+        if self.weight_decay:
+            grad = grad + self.weight_decay * self.theta
+        m, v, s1, s2 = self._m, self._v, self._s1, self._s2
+        bc1, bc2 = self._bc1, self._bc2
+        for index in range(self.model.n_seeds):
+            step_count = self._t[index] + 1
+            self._t[index] = step_count
+            bc1[index, 0] = bias_correction(self.beta1, step_count)
+            bc2[index, 0] = bias_correction(self.beta2, step_count)
+        # m = beta1*m + (1-beta1)*grad
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=s1)
+        np.add(m, s1, out=m)
+        # v = beta2*v + (1-beta2)*grad^2
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(grad, grad, out=s1)
+        np.multiply(s1, 1.0 - self.beta2, out=s1)
+        np.add(v, s1, out=v)
+        # theta -= lr * m_hat / (sqrt(v_hat) + eps), per-seed bias terms
+        np.divide(m, bc1, out=s1)
+        np.divide(v, bc2, out=s2)
+        np.sqrt(s2, out=s2)
+        np.add(s2, self.eps, out=s2)
+        np.multiply(s1, self.lr, out=s1)
+        np.divide(s1, s2, out=s1)
+        np.subtract(self.theta, s1, out=self.theta)
+
+
+@dataclass
+class FusedFitJob:
+    """One seed's pending training run, as consumed by :func:`fit_batched`.
+
+    Exactly the arguments :meth:`FusedMLP.fit` would take, bundled so a
+    round's worth of refits can be collected first and dispatched together.
+    """
+
+    model: FusedMLP
+    adam: FusedAdam
+    inputs: np.ndarray
+    targets: np.ndarray
+    epochs: int
+    batch_size: int
+    rng: np.random.Generator
+
+
+def fit_job_signature(job: FusedFitJob) -> tuple:
+    """Grouping key for jobs that may share one batched kernel dispatch.
+
+    Jobs in one :func:`fit_batched` call must agree on architecture and
+    Adam hyper-parameters; dataset geometry may differ (``fit_batched``
+    buckets by it internally).  Callers bucket by this key first.
+    """
+    model, adam = job.model, job.adam
+    return (
+        model.in_features,
+        tuple(model.hidden),
+        model.out_features,
+        model._activations,
+        adam.lr,
+        adam.beta1,
+        adam.beta2,
+        adam.eps,
+        adam.weight_decay,
+    )
+
+
+def _fit_bucket(jobs: List[FusedFitJob], inputs_list: List[np.ndarray],
+                targets_list: List[np.ndarray]) -> List[List[float]]:
+    """Lockstep-train jobs that share one dataset geometry.
+
+    All jobs have the same (row count, batch size, epochs), so each global
+    step runs one stacked forward/backward/Adam update in which every
+    seed's slice has the single-seed shapes — the bit-transparent case.
+    Each seed draws its epoch permutations from its own generator, in the
+    same order the sequential path would.
+    """
+    n = len(jobs)
+    count = inputs_list[0].shape[0]
+    epochs, batch_size = jobs[0].epochs, jobs[0].batch_size
+    batched = BatchedFusedMLP(jobs[0].model, n)
+    batched.gather([job.model for job in jobs])
+    adam = BatchedFusedAdam(
+        batched,
+        lr=jobs[0].adam.lr,
+        betas=(jobs[0].adam.beta1, jobs[0].adam.beta2),
+        eps=jobs[0].adam.eps,
+        weight_decay=jobs[0].adam.weight_decay,
+    )
+    adam.gather([job.adam for job in jobs])
+
+    shuf_x = np.empty((n, count, batched.in_features))
+    shuf_y = np.empty((n, count, batched.out_features))
+    grad = batched._grad
+    epoch_losses: List[List[float]] = [[] for _ in range(n)]
+    step_losses: List[List[float]] = [[] for _ in range(n)]
+    for _ in range(epochs):
+        for index, job in enumerate(jobs):
+            permutation = job.rng.permutation(count)
+            np.take(inputs_list[index], permutation, axis=0, out=shuf_x[index])
+            np.take(targets_list[index], permutation, axis=0, out=shuf_y[index])
+        for start in range(0, count, batch_size):
+            stop = min(start + batch_size, count)
+            losses = batched.loss_and_grad(
+                shuf_x[:, start:stop], shuf_y[:, start:stop]
+            )
+            adam.step(grad)
+            for index in range(n):
+                step_losses[index].append(losses[index])
+        for index in range(n):
+            epoch_losses[index].append(float(np.mean(step_losses[index])))
+            step_losses[index].clear()
+
+    batched.scatter([job.model for job in jobs])
+    adam.scatter([job.adam for job in jobs])
+    return epoch_losses
+
+
+def fit_batched(jobs: Sequence[FusedFitJob]) -> List[List[float]]:
+    """Train every job's model through stacked kernels; bit-identical bits.
+
+    Jobs must share one architecture and Adam hyper-parameters
+    (:func:`fit_job_signature`); within that, they are bucketed by dataset
+    geometry — ``(rows, batch_size, epochs)`` — and each bucket trains in
+    lockstep through one :class:`BatchedFusedMLP`/:class:`BatchedFusedAdam`
+    stack.  Bucketing (rather than pad-and-mask) is what preserves bitwise
+    parity: BLAS gemm kernels are row-count-dependent in the last ulp, so
+    only same-shape stacking is safe.  In the campaign the live members of
+    a phase share geometry (same round, same schedule), which is exactly
+    where the refit time is spent.  Ragged stragglers simply land in
+    smaller buckets; a one-job bucket degenerates to the sequential
+    computation on stacked views.
+
+    Returns each job's per-epoch mean losses, in input order.
+    """
+    if not jobs:
+        return []
+    reference = fit_job_signature(jobs[0])
+    for job in jobs[1:]:
+        if fit_job_signature(job) != reference:
+            raise ValueError(
+                "fit_batched needs jobs sharing one architecture and Adam "
+                "hyper-parameters; bucket by fit_job_signature first"
+            )
+
+    inputs_list: List[np.ndarray] = []
+    targets_list: List[np.ndarray] = []
+    for job in jobs:
+        # Cold per-dispatch coercion, mirroring train_regressor's (a no-op
+        # for the float64 2-D views the search hands over).
+        # analysis: allow(hot-loop-alloc)
+        inputs = np.atleast_2d(np.asarray(job.inputs, dtype=np.float64))
+        # analysis: allow(hot-loop-alloc)
+        targets = np.atleast_2d(np.asarray(job.targets, dtype=np.float64))
+        if inputs.shape[0] != targets.shape[0] or inputs.shape[0] < 1:
+            raise ValueError(
+                f"job has {inputs.shape[0]} input rows vs {targets.shape[0]} target rows"
+            )
+        if job.epochs < 0 or job.batch_size < 1:
+            raise ValueError(f"bad epochs/batch_size: {job.epochs}/{job.batch_size}")
+        inputs_list.append(inputs)
+        targets_list.append(targets)
+
+    buckets: Dict[tuple, List[int]] = {}
+    for index, job in enumerate(jobs):
+        key = (inputs_list[index].shape[0], job.batch_size, job.epochs)
+        buckets.setdefault(key, []).append(index)
+
+    results: List[List[float]] = [[] for _ in jobs]
+    for (_, batch_size, epochs), indices in buckets.items():
+        if epochs == 0:
+            continue
+        if len(indices) == 1:
+            # A lone job gains nothing from the stacked views; run it
+            # through the very kernel the sequential path runs (trivially
+            # bit-identical, and none of the gather/stack overhead).
+            index = indices[0]
+            job = jobs[index]
+            results[index] = job.model.fit(
+                inputs_list[index],
+                targets_list[index],
+                epochs,
+                batch_size,
+                job.adam,
+                job.rng,
+            )
+            continue
+        bucket_losses = _fit_bucket(
+            [jobs[i] for i in indices],
+            [inputs_list[i] for i in indices],
+            [targets_list[i] for i in indices],
+        )
+        for position, original in enumerate(indices):
+            results[original] = bucket_losses[position]
+    return results

@@ -9,6 +9,18 @@ import numpy as np
 from repro.autodiff import Tensor
 
 
+def bias_correction(beta: float, t: int) -> float:
+    """Adam's ``1 - beta**t`` debiasing denominator.
+
+    Every Adam flavour in the repo (:class:`Adam`,
+    :class:`repro.nn.fused.FusedAdam`,
+    :class:`repro.nn.fused.BatchedFusedAdam`) must compute this with the
+    same Python ``**`` on the integer step count — sharing the helper keeps
+    their bits from drifting apart.
+    """
+    return 1.0 - beta ** t
+
+
 class Optimizer:
     """Base class holding parameter references."""
 
@@ -106,8 +118,8 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / (1.0 - self.beta1 ** self._t)
-            v_hat = v / (1.0 - self.beta2 ** self._t)
+            m_hat = m / bias_correction(self.beta1, self._t)
+            v_hat = v / bias_correction(self.beta2, self._t)
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 

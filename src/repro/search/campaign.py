@@ -41,6 +41,7 @@ import numpy as np
 from repro.analysis.contracts import ArraySpec, contract
 from repro.circuits.pvt import PVTCondition, nine_corner_grid, rank_by_severity
 from repro.core.design_space import DesignSpace
+from repro.nn.fused import FusedFitJob, fit_batched, fit_job_signature
 from repro.obs import event, profiled
 from repro.resilience.faults import fault_point, register_fault_site
 from repro.resilience.snapshot import load_snapshot, save_snapshot
@@ -116,6 +117,14 @@ class CampaignResult:
     #: Round the campaign resumed from (``None`` for an uninterrupted run).
     #: ``rounds`` still counts from the resumed round, matching the oracle.
     resumed_from_round: Optional[int] = None
+    #: Lockstep rounds in which at least one surrogate refit ran (either
+    #: dispatch mode; the deterministic denominator of the refit speedup).
+    refit_rounds: int = 0
+    #: Stacked multi-seed training dispatches (zero under
+    #: ``refit_mode="sequential"``; single-job refits don't count).
+    batched_kernel_calls: int = 0
+    #: The refit dispatch mode the campaign ran with.
+    refit_mode: str = "batched"
 
     @property
     def solved_fraction(self) -> float:
@@ -167,6 +176,7 @@ class _ProgressiveMember:
         trust_config: TrustRegionConfig,
         optimizer_name: str,
         max_phases: int,
+        refit_deferred: bool = False,
     ) -> None:
         self.seed = seed
         self.design_space = design_space
@@ -179,6 +189,7 @@ class _ProgressiveMember:
         self.optimizer_name = optimizer_name
         self.optimizer_cls = get_optimizer(optimizer_name)
         self.max_phases = max_phases
+        self._refit_deferred = refit_deferred
         # Per-seed evaluation accounting, attributed by the Campaign: exact
         # cache-counter deltas for this member's own requests, plus its
         # share of any multi-seed stacked pass (see Campaign._run_group).
@@ -209,13 +220,18 @@ class _ProgressiveMember:
         # non-init or derived fields, where reconstructing from __dict__
         # would silently break.
         phase_config = replace(self.config, seed=self.config.seed + self.phase)
-        return self.optimizer_cls(
+        optimizer = self.optimizer_cls(
             None,
             self.design_space,
             specification,
             config=phase_config,
             initial_points=self.warm_start,
         )
+        # Under refit_mode="batched" the optimizer queues its refits for
+        # the campaign's round-level stacked dispatch (a no-op for
+        # strategies without a deferrable surrogate).
+        optimizer.set_refit_deferred(self._refit_deferred)
+        return optimizer
 
     def account(
         self, hits: int, misses: int, engine_calls: int, eval_seconds: float
@@ -512,6 +528,7 @@ class Campaign:
             len(handle.metric_names),
             persist_path=cache_path,
         )
+        self.refit_mode = self.progressive.refit_mode
         self._members = [
             _ProgressiveMember(
                 seed=seed,
@@ -522,10 +539,13 @@ class Campaign:
                 trust_config=trust,
                 optimizer_name=self.progressive.optimizer,
                 max_phases=self.progressive.max_phases,
+                refit_deferred=self.refit_mode == "batched",
             )
             for seed in self.seeds
         ]
         self.rounds = 0
+        self.refit_rounds = 0
+        self.batched_kernel_calls = 0
 
     def _counters(self) -> Tuple[int, int, int, float]:
         cache = self.cache
@@ -607,6 +627,72 @@ class Campaign:
         for member, rows, _ in grouped:
             member.receive(self._evaluate_for(member, rows, corners))
 
+    # -- batched surrogate refit ---------------------------------------
+    def _flush_refits(self) -> None:
+        """Collect and dispatch every member's queued refit for this round.
+
+        Jobs are grouped by :func:`fit_job_signature` (members in different
+        phases have different surrogate output widths); each multi-job group
+        trains through one stacked :func:`fit_batched` dispatch, lone jobs
+        through the same kernel at seed count 1.  Either way the per-seed
+        bits equal the sequential inline refit, so deferral is invisible to
+        trajectories — only to the wall clock.
+        """
+        pending: List[Tuple[_ProgressiveMember, FusedFitJob]] = []
+        for member in self._members:
+            job = member.optimizer.take_refit_job()
+            if job is not None:
+                pending.append((member, job))
+        if not pending:
+            return
+        groups: "OrderedDict[tuple, List[Tuple[_ProgressiveMember, FusedFitJob]]]" = (
+            OrderedDict()
+        )
+        for member, job in pending:
+            groups.setdefault(fit_job_signature(job), []).append((member, job))
+        for grouped in groups.values():
+            if len(grouped) == 1:
+                self._run_refit_single(*grouped[0])
+            else:
+                self._run_refit_batched(grouped)
+
+    def _run_refit_single(self, member: _ProgressiveMember, job: FusedFitJob) -> None:
+        """A lone deferred refit: same accounting as the inline path."""
+        with profiled(
+            "trust_region.refit",
+            epochs=job.epochs,
+            rows=int(job.inputs.shape[0]),
+            backend="fused",
+        ) as timer:
+            fit_batched([job])
+        member.optimizer.refit_seconds += timer.seconds
+
+    def _run_refit_batched(
+        self, grouped: List[Tuple[_ProgressiveMember, FusedFitJob]]
+    ) -> None:
+        """One stacked training dispatch for same-signature refit jobs.
+
+        The kernel wall time is attributed back to the members
+        proportionally to each job's training volume (epochs x rows), the
+        refit analogue of the eval-side miss-share attribution — so the
+        per-seed ``refit_seconds`` still sum to the campaign-wide cost.
+        """
+        jobs = [job for _, job in grouped]
+        weights = [job.epochs * int(job.inputs.shape[0]) for job in jobs]
+        with profiled(
+            "campaign.refit_batched",
+            n_seeds=len(jobs),
+            n_params=jobs[0].model.num_parameters,
+            rows=sum(int(job.inputs.shape[0]) for job in jobs),
+        ) as timer:
+            fit_batched(jobs)
+        self.batched_kernel_calls += 1
+        total = sum(weights)
+        for (member, _), weight in zip(grouped, weights):
+            member.optimizer.refit_seconds += (
+                timer.seconds * (weight / total) if total else 0.0
+            )
+
     # -- checkpoint/resume ---------------------------------------------
     def state_dict(self) -> Dict[str, object]:
         """The campaign at a round boundary: identity, members, cache.
@@ -630,6 +716,7 @@ class Campaign:
                 ],
             },
             "rounds": self.rounds,
+            "refit": (self.refit_rounds, self.batched_kernel_calls),
             "members": [member.state_dict() for member in self._members],
             "cache": self.cache.state_dict(),
         }
@@ -653,6 +740,7 @@ class Campaign:
                     f"{identity.get(field)!r}, this campaign has {expected[field]!r}"
                 )
         self.rounds = state["rounds"]
+        self.refit_rounds, self.batched_kernel_calls = state.get("refit", (0, 0))
         for member, member_state in zip(self._members, state["members"]):
             member.load_state_dict(member_state)
         self.cache.load_state_dict(state["cache"])
@@ -765,6 +853,13 @@ class Campaign:
                 )
                 for request in requests:
                     groups.setdefault(tuple(request[2]), []).append(request)
+                # Refit-round detection must survive phase transitions: a
+                # receive() may rebuild a member's optimizer, so keep a
+                # reference to the object whose counter we snapshotted.
+                refits_before = [
+                    (member.optimizer, member.optimizer.refit_count)
+                    for member in self._members
+                ]
                 with profiled(
                     "campaign.round",
                     round=self.rounds,
@@ -780,6 +875,14 @@ class Campaign:
                             member.receive(self._evaluate_for(member, rows, corners))
                             continue
                         self._run_group(grouped)
+                    # End of round: train every queued refit (batched mode)
+                    # before the snapshot below, so checkpoints never carry
+                    # a half-deferred surrogate.
+                    self._flush_refits()
+                if any(
+                    optimizer.refit_count > count for optimizer, count in refits_before
+                ):
+                    self.refit_rounds += 1
                 # Round boundary: every receive() has landed, so no member
                 # has a request in flight — the one state a snapshot is
                 # allowed to capture.
@@ -795,4 +898,7 @@ class Campaign:
             cache_hits=cache.hits,
             cache_misses=cache.misses,
             resumed_from_round=resumed_from_round,
+            refit_rounds=self.refit_rounds,
+            batched_kernel_calls=self.batched_kernel_calls,
+            refit_mode=self.refit_mode,
         )

@@ -203,6 +203,28 @@ class Optimizer(ABC):
     def result(self) -> SearchResult:
         """Pack the final outcome of the run."""
 
+    # -- batched-refit protocol (optional) -----------------------------
+    #: How many surrogate refits this optimizer has started (zero for
+    #: surrogate-free strategies, which never override the hooks below).
+    refit_count: int = 0
+
+    def set_refit_deferred(self, deferred: bool) -> None:
+        """Ask the optimizer to queue refits instead of training inline.
+
+        Drivers that can batch training across many optimizers (the
+        campaign's ``refit_mode="batched"``) call this once after
+        construction.  The default is a no-op: optimizers without a
+        deferrable surrogate simply keep training inline (or not at all),
+        and :meth:`take_refit_job` stays empty.
+        """
+
+    def take_refit_job(self):
+        """Pop the pending deferred refit as a
+        :class:`repro.nn.fused.FusedFitJob`, or ``None`` when this
+        optimizer has nothing queued (no refit this round, or inline
+        mode)."""
+        return None
+
 
 class DatasetOptimizer(Optimizer):
     """Shared dataset machinery for ask/tell optimizers.
@@ -273,6 +295,9 @@ class DatasetOptimizer(Optimizer):
         #: Wall time spent in surrogate refits (stays zero for the
         #: surrogate-free baselines).
         self.refit_seconds: float = 0.0
+        #: Surrogate refits started (inline or deferred), for the bench
+        #: accounting; stays zero for the surrogate-free baselines.
+        self.refit_count: int = 0
 
     # -- dataset hot path ----------------------------------------------
     @property
@@ -439,6 +464,7 @@ class DatasetOptimizer(Optimizer):
             ],
             "done": self._done,
             "refit_seconds": self.refit_seconds,
+            "refit_count": self.refit_count,
             "initial_points": (
                 self._initial_points.copy()
                 if self._initial_points is not None
@@ -481,6 +507,7 @@ class DatasetOptimizer(Optimizer):
         self._history = [IterationRecord(*record) for record in state["history"]]
         self._done = state["done"]
         self.refit_seconds = state["refit_seconds"]
+        self.refit_count = int(state.get("refit_count", 0))
 
     def run(self) -> SearchResult:
         """Self-driving ask/tell loop over the optimizer's own evaluator."""

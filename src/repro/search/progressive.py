@@ -51,6 +51,13 @@ EvaluatorFactory = Callable[[PVTCondition], BatchEvaluator]
 #: per-corner Python loop kept as the parity oracle.
 CORNER_ENGINES = ("stacked", "looped")
 
+#: Surrogate-refit dispatch modes: ``"batched"`` collects every live seed's
+#: pending refit each campaign round and trains them through one stacked
+#: kernel (:func:`repro.nn.fused.fit_batched`); ``"sequential"`` trains each
+#: seed inline inside its own ``tell``, the historical parity oracle.  The
+#: two are bit-identical per seed, so the knob trades speed only.
+REFIT_MODES = ("batched", "sequential")
+
 
 @dataclass
 class ProgressiveConfig:
@@ -65,7 +72,11 @@ class ProgressiveConfig:
     ``"looped"`` (per-corner loop, the bit-identical parity oracle).
     ``optimizer`` names the registered search strategy each phase runs
     (``"trust_region"`` default; ``"random"`` and ``"cross_entropy"`` are
-    the built-in baselines).
+    the built-in baselines).  ``refit_mode`` selects how surrogate refits
+    dispatch under a campaign: ``"batched"`` (default, one stacked training
+    kernel per round across the live seeds) or ``"sequential"`` (inline
+    per-seed refits, the parity oracle) — bit-identical per seed either
+    way.
     """
 
     trust_region: TrustRegionConfig = field(default_factory=TrustRegionConfig)
@@ -73,12 +84,18 @@ class ProgressiveConfig:
     backend: Optional[str] = None
     corner_engine: str = "stacked"
     optimizer: str = "trust_region"
+    refit_mode: str = "batched"
 
     def __post_init__(self) -> None:
         if self.corner_engine not in CORNER_ENGINES:
             raise ValueError(
                 f"unknown corner engine {self.corner_engine!r}; "
                 f"available: {', '.join(CORNER_ENGINES)}"
+            )
+        if self.refit_mode not in REFIT_MODES:
+            raise ValueError(
+                f"unknown refit mode {self.refit_mode!r}; "
+                f"available: {', '.join(REFIT_MODES)}"
             )
         if self.optimizer not in available_optimizers():
             raise ValueError(

@@ -56,14 +56,15 @@ def resolve_config(
     corner_engine: Optional[str] = None,
     optimizer: Optional[str] = None,
     max_phases: Optional[int] = None,
+    refit_mode: Optional[str] = None,
 ) -> ProgressiveConfig:
     """Combine the config object with the scalar override knobs.
 
     Every override follows the same rule: an explicit value always wins
     (via :func:`dataclasses.replace`), ``None`` defers to the config.
     ``seed`` and ``backend`` land on the per-phase
-    :class:`TrustRegionConfig`; ``corner_engine``, ``optimizer`` and
-    ``max_phases`` on the :class:`ProgressiveConfig`.  A bare
+    :class:`TrustRegionConfig`; ``corner_engine``, ``optimizer``,
+    ``max_phases`` and ``refit_mode`` on the :class:`ProgressiveConfig`.  A bare
     :class:`TrustRegionConfig` (or ``None``) is wrapped without copying, so
     ``resolve_config(config).trust_region is config`` holds when nothing
     changes.
@@ -76,6 +77,7 @@ def resolve_config(
         corner_engine=corner_engine,
         optimizer=optimizer,
         max_phases=max_phases,
+        refit_mode=refit_mode,
     )
 
 
@@ -94,7 +96,8 @@ def build_campaign(
     """Resolve a topology into a ready-to-run multi-seed Campaign.
 
     ``overrides`` are the scalar knobs of :func:`resolve_config` (``seed``,
-    ``backend``, ``corner_engine``, ``optimizer``, ``max_phases``), each
+    ``backend``, ``corner_engine``, ``optimizer``, ``max_phases``,
+    ``refit_mode``), each
     explicit-wins/``None``-defers against ``config``.  ``seeds`` selects
     the campaign members (defaulting to the resolved config's seed); the
     spec set defaults to the topology's ``default_specs()`` at ``tier``.
@@ -141,6 +144,7 @@ def size_problem(
     backend: Optional[str] = None,
     corner_engine: Optional[str] = None,
     optimizer: Optional[str] = None,
+    refit_mode: Optional[str] = None,
 ) -> ProgressiveResult:
     """Run the progressive sizing search on one topology (single seed).
 
@@ -180,6 +184,11 @@ def size_problem(
         Registered search strategy each phase runs (``"trust_region"``
         default; ``"random"``/``"cross_entropy"`` baselines).  ``None``
         defers to the config.
+    refit_mode:
+        Surrogate-refit dispatch under the campaign: ``"batched"`` (one
+        stacked training kernel per round) or ``"sequential"`` (inline
+        per-seed refits) — bit-identical per seed.  ``None`` defers to the
+        config.
     """
     campaign = build_campaign(
         topology,
@@ -195,5 +204,6 @@ def size_problem(
         corner_engine=corner_engine,
         optimizer=optimizer,
         max_phases=max_phases,
+        refit_mode=refit_mode,
     )
     return campaign.run().results[0]

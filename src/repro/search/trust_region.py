@@ -46,7 +46,7 @@ import numpy as np
 from repro.core.design_space import DesignSpace
 from repro.obs import profiled
 from repro.resilience.faults import fault_point, register_fault_site
-from repro.nn.fused import FusedAdam, FusedMLP
+from repro.nn.fused import FusedAdam, FusedFitJob, FusedMLP
 from repro.nn.modules import MLP
 from repro.nn.optim import Adam
 from repro.nn.scalers import StandardScaler
@@ -175,10 +175,60 @@ class TrustRegionSearch(DatasetOptimizer):
         self._surrogate: Optional[Union[MLP, FusedMLP]] = None
         self._optimizer: Optional[Union[Adam, FusedAdam]] = None
         self._output_scaler: Optional[StandardScaler] = None
+        # Batched-refit deferral (campaign refit_mode="batched"): when set,
+        # tell() queues the refit instead of training, and the driver pops
+        # it via take_refit_job() at the end of the round.
+        self._refit_deferred = False
+        self._pending_refit_epochs: Optional[int] = None
 
     # ------------------------------------------------------------------
-    def _refit_surrogate(self, epochs: int) -> None:
+    def set_refit_deferred(self, deferred: bool) -> None:
+        """Queue refits for a round-level batched dispatch instead of
+        training inline.
+
+        Only the fused backend is deferrable (the batched kernel stacks
+        flat parameter vectors); with ``backend="autodiff"`` the optimizer
+        keeps training inline and the campaign's batched mode degrades
+        gracefully to the sequential behaviour for this member.
+
+        Deferral cannot shift a trajectory: the refit is the only RNG
+        consumer inside ``tell`` and the next RNG use is the next ``ask``,
+        which the campaign only reaches after flushing the queued refits —
+        so the draw order is exactly the sequential one.
+        """
+        self._refit_deferred = bool(deferred) and self.config.backend == "fused"
+
+    def take_refit_job(self) -> Optional[FusedFitJob]:
+        """Pop this round's queued refit as a fit job, or ``None``.
+
+        Runs the tell-side bookkeeping the inline path would have run
+        (fault site, refit counter, lazy surrogate build) at pop time, so
+        kill-and-resume drills cover the batched path too.
+        """
+        if self._pending_refit_epochs is None:
+            return None
+        epochs = self._pending_refit_epochs
+        self._pending_refit_epochs = None
         fault_point(SITE_REFIT)
+        self.refit_count += 1
+        metrics = self._M[: self._count]
+        self._ensure_surrogate(metrics)
+        return FusedFitJob(
+            model=self._surrogate,
+            adam=self._optimizer,
+            inputs=self._U[: self._count],
+            targets=self._output_scaler.transform(metrics),
+            epochs=epochs,
+            batch_size=self.config.surrogate_batch_size,
+            rng=self.rng,
+        )
+
+    def _refit_surrogate(self, epochs: int) -> None:
+        if self._refit_deferred:
+            self._pending_refit_epochs = epochs
+            return
+        fault_point(SITE_REFIT)
+        self.refit_count += 1
         with profiled(
             "trust_region.refit",
             epochs=epochs,
@@ -188,25 +238,30 @@ class TrustRegionSearch(DatasetOptimizer):
             self._refit_surrogate_inner(epochs)
         self.refit_seconds += timer.seconds
 
+    def _ensure_surrogate(self, metrics: np.ndarray) -> None:
+        """Lazily build the surrogate, its optimizer and the output scaler."""
+        if self._surrogate is not None:
+            return
+        template = MLP(
+            in_features=self.design_space.dimension,
+            hidden=tuple(self.config.surrogate_hidden),
+            out_features=len(self.specification.metric_names),
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        if self.config.backend == "fused":
+            self._surrogate = FusedMLP.from_module(template)
+            self._optimizer = FusedAdam(self._surrogate, lr=self.config.learning_rate)
+        else:
+            self._surrogate = template
+            self._optimizer = Adam(template.parameters(), lr=self.config.learning_rate)
+        # The output scaler is fitted once on the Monte-Carlo seed and
+        # then frozen: retargeting it every refit would silently shift
+        # the regression problem under the persistent Adam moments.
+        self._output_scaler = StandardScaler().fit(metrics)
+
     def _refit_surrogate_inner(self, epochs: int) -> None:
         metrics = self._M[: self._count]
-        if self._surrogate is None:
-            template = MLP(
-                in_features=self.design_space.dimension,
-                hidden=tuple(self.config.surrogate_hidden),
-                out_features=len(self.specification.metric_names),
-                rng=np.random.default_rng(self.config.seed + 1),
-            )
-            if self.config.backend == "fused":
-                self._surrogate = FusedMLP.from_module(template)
-                self._optimizer = FusedAdam(self._surrogate, lr=self.config.learning_rate)
-            else:
-                self._surrogate = template
-                self._optimizer = Adam(template.parameters(), lr=self.config.learning_rate)
-            # The output scaler is fitted once on the Monte-Carlo seed and
-            # then frozen: retargeting it every refit would silently shift
-            # the regression problem under the persistent Adam moments.
-            self._output_scaler = StandardScaler().fit(metrics)
+        self._ensure_surrogate(metrics)
         train_regressor(
             self._surrogate,
             self._U[: self._count],
@@ -229,6 +284,11 @@ class TrustRegionSearch(DatasetOptimizer):
         the surrogate exactly the way :meth:`_refit_surrogate_inner` does
         and then overwrites the trained values.
         """
+        if self._pending_refit_epochs is not None:
+            raise RuntimeError(
+                "cannot snapshot with a deferred refit still pending; "
+                "flush the round's refit jobs first"
+            )
         state = super().state_dict()
         state["seeded"] = self._seeded
         state["iterating"] = self._iterating
