@@ -48,11 +48,18 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
     # dependencies are unavailable.
     from repro.analysis.determinism import audit_suite
 
+    if args.resume_parity and args.execution == "sharded":
+        module_logger.error(
+            "--resume-parity and --execution sharded are exclusive audit modes"
+        )
+        return 2
+    mode = ""
+    if args.resume_parity:
+        mode = ", resume-parity mode"
+    elif args.execution == "sharded":
+        mode = f", sharded-parity mode ({args.workers} workers)"
     module_logger.info(
-        "auditing suite %r twice in-process with %d seed(s)%s",
-        args.suite,
-        args.seeds,
-        ", resume-parity mode" if args.resume_parity else "",
+        "auditing suite %r twice with %d seed(s)%s", args.suite, args.seeds, mode
     )
     report = audit_suite(
         suite=args.suite,
@@ -63,6 +70,8 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
         with_contracts=not args.no_contracts,
         resume_parity=args.resume_parity,
         refit_mode=args.refit_mode,
+        execution=args.execution,
+        workers=args.workers,
     )
     print(report.format())
     return 0 if report.ok else 1
@@ -139,6 +148,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=("batched", "sequential"),
         help="surrogate-refit dispatch override (batched: one stacked "
         "multi-seed training kernel per campaign round)",
+    )
+    determinism.add_argument(
+        "--execution",
+        default="campaign",
+        choices=("campaign", "sharded"),
+        help="what the compared runs are: 'campaign' (default) runs the "
+        "multi-seed campaign twice in-process; 'sharded' byte-diffs a "
+        "multi-process sharded run against the in-process sequential "
+        "oracle over the same shard specs",
+    )
+    determinism.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker process count for --execution sharded (default: 2)",
     )
     determinism.add_argument(
         "--resume-parity",

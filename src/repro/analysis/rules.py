@@ -621,6 +621,121 @@ class NonAtomicArtifactWriteRule(LintRule):
                 )
 
 
+@register_rule
+class SpawnUnsafeRule(LintRule):
+    """All :mod:`multiprocessing` use goes through ``get_context("spawn")``.
+
+    The engine process holds NumPy thread pools, open store file handles
+    and a module-level tracer; ``fork`` duplicates all of that into the
+    child in undefined states (the classic deadlocked-after-fork lock, or
+    two processes appending to one store handle).  A bare ``Pool()`` /
+    ``Process()`` inherits the platform default start method — ``fork`` on
+    Linux — so the only sanctioned construction is an explicit
+    ``multiprocessing.get_context("spawn")`` and factories called on that
+    context (how :class:`repro.shard.ShardedExecutor` spawns workers).
+    ``set_start_method`` is flagged unless it pins ``"spawn"``: mutating
+    the *global* default still leaves every bare factory ambiguous to
+    readers, and it collides with libraries doing the same.
+    """
+
+    id = "spawn-unsafe"
+    summary = 'multiprocessing use without an explicit get_context("spawn")'
+
+    #: Module-level factories whose bare use inherits the platform start
+    #: method (fork on Linux) instead of an explicit spawn context.
+    FACTORIES = frozenset(
+        {
+            "Pool",
+            "Process",
+            "Queue",
+            "SimpleQueue",
+            "JoinableQueue",
+            "Manager",
+            "Pipe",
+            "Value",
+            "Array",
+        }
+    )
+
+    def _aliases(self, module: "ModuleSource") -> Tuple[Set[str], Set[str], Set[str]]:
+        """(module aliases, bare factory names, bare get_context names)."""
+        modules: Set[str] = set()
+        factories: Set[str] = set()
+        contexts: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        modules.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.split(".")[0] == "multiprocessing"
+            ):
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name in self.FACTORIES:
+                        factories.add(bound)
+                    elif alias.name == "get_context":
+                        contexts.add(bound)
+        return modules, factories, contexts
+
+    def _spawn_argument(self, node: ast.Call) -> bool:
+        """Whether the call pins the ``"spawn"`` start method as a constant."""
+        candidates: List[ast.expr] = list(node.args[:1])
+        candidates.extend(
+            keyword.value for keyword in node.keywords if keyword.arg == "method"
+        )
+        return any(
+            isinstance(arg, ast.Constant) and arg.value == "spawn"
+            for arg in candidates
+        )
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        if module.is_test:
+            return
+        modules, factories, contexts = self._aliases(module)
+        if not (modules or factories or contexts):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            dotted = len(parts) == 2 and parts[0] in modules
+            bare = len(parts) == 1
+            if (dotted and parts[1] in self.FACTORIES) or (
+                bare and parts[0] in factories
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() inherits the platform start method (fork on "
+                    "Linux); build workers from an explicit "
+                    'multiprocessing.get_context("spawn") context',
+                )
+            elif (
+                (dotted and parts[1] == "get_context")
+                or (bare and parts[0] in contexts)
+            ) and not self._spawn_argument(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f'{name}() without "spawn" resolves to the platform '
+                    "default start method (fork on Linux); pin "
+                    'get_context("spawn") explicitly',
+                )
+            elif dotted and parts[1] == "set_start_method" and not self._spawn_argument(
+                node
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() mutates the global start method; use a local "
+                    'get_context("spawn") context instead',
+                )
+
+
 def iter_rules(select: Optional[Iterable[str]] = None) -> List[LintRule]:
     """Instantiate the selected rules (all registered rules by default)."""
     ids = available_rules() if select is None else list(select)

@@ -30,6 +30,7 @@ from repro.search.trust_region import TrustRegionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.search.campaign import Campaign
+    from repro.shard.executor import ShardSpec
 
 #: Named sign-off corner sets a case can request.
 CORNER_SETS: Dict[str, Callable[[], List[PVTCondition]]] = {
@@ -151,6 +152,53 @@ class BenchCase:
             max_phases=self.max_phases,
             refit_mode=refit_mode,
         )
+
+    def shard_specs(
+        self,
+        seeds: Sequence[int],
+        backend: Optional[str] = None,
+        corner_engine: Optional[str] = None,
+        optimizer: Optional[str] = None,
+        refit_mode: Optional[str] = None,
+    ) -> "List[ShardSpec]":
+        """One picklable :class:`~repro.shard.executor.ShardSpec` per seed.
+
+        Each spec carries a **fully resolved**
+        :class:`~repro.search.progressive.ProgressiveConfig` (same
+        override semantics as :meth:`build_campaign`, with the seed baked
+        into the per-phase trust-region config), so a spawned worker
+        rebuilds exactly the single-seed campaign this case would run for
+        that seed — the construction behind ``--execution sharded``.
+        """
+        # Imported lazily for the same circularity reason as build_campaign.
+        from repro.search.sizing import resolve_config
+        from repro.shard.executor import ShardSpec
+
+        corners = tuple(self.corners())
+        specs = []
+        for seed in seeds:
+            seed = int(seed)
+            config = resolve_config(
+                self.config(seed),
+                backend=backend,
+                corner_engine=corner_engine,
+                optimizer=optimizer if optimizer is not None else self.optimizer,
+                max_phases=self.max_phases,
+                refit_mode=refit_mode,
+            )
+            specs.append(
+                ShardSpec(
+                    topology=self.topology,
+                    seed=seed,
+                    config=config,
+                    tier=self.tier,
+                    technology=self.technology,
+                    load_cap=self.load_cap,
+                    corners=corners,
+                    label=self.name,
+                )
+            )
+        return specs
 
 
 _SUITES: Dict[str, List[BenchCase]] = {

@@ -17,22 +17,27 @@ run in lockstep rounds sharing single stacked ``evaluate_corners`` passes
 (far fewer, larger evaluator calls), bit-exact per seed versus
 ``--execution sequential``, the one-seed-at-a-time oracle path.
 
-The JSON artifact schema is ``repro.bench/v7`` (see README "Benchmarking").
-Relative to v6 it adds the surrogate-refit accounting: a per-case ``refit``
-block (total ``refit_seconds``, the number of lockstep rounds that actually
-refit, how many stacked multi-seed kernel dispatches ran, and the
-``refit_mode``) plus the top-level ``refit_mode``.  v6 added the per-case
-``resilience`` block — the round the campaign resumed from (``--resume``,
-``null`` for uninterrupted runs) and the persistent evaluation-cache
-accounting (``--cache-dir``: store path, pairs preloaded from disk,
-warm/cold hit split, bytes trimmed repairing a torn tail; ``null`` without
-a store).  The artifact itself is written atomically (temp file + fsync +
-rename), so a crashed run never leaves a half-written BENCH JSON:
+The JSON artifact schema is ``repro.bench/v8`` (see README "Benchmarking").
+Relative to v7 it adds ``--execution sharded`` — multi-process execution
+via :class:`repro.shard.ShardedExecutor`, bit-identical per seed to the
+sequential oracle — and with it a per-case ``shard`` block (``null`` for
+in-process executions): the worker count, the deterministic seed-to-worker
+shard map, and per-worker wall/eval seconds.  v7 added the surrogate-refit
+accounting: a per-case ``refit`` block (total ``refit_seconds``, the
+number of lockstep rounds that actually refit, how many stacked multi-seed
+kernel dispatches ran, and the ``refit_mode``) plus the top-level
+``refit_mode``.  v6 added the per-case ``resilience`` block — the round
+the campaign resumed from (``--resume``, ``null`` for uninterrupted runs)
+and the persistent evaluation-cache accounting (``--cache-dir``: store
+path, pairs preloaded from disk, warm/cold hit split, bytes trimmed
+repairing a torn tail; ``null`` without a store).  The artifact itself is
+written atomically (temp file + fsync + rename), so a crashed run never
+leaves a half-written BENCH JSON:
 
 .. code-block:: json
 
     {
-      "schema": "repro.bench/v7",
+      "schema": "repro.bench/v8",
       "suite": "smoke",
       "seeds": [0, 1, 2],
       "backend": "fused",
@@ -59,6 +64,11 @@ rename), so a crashed run never leaves a half-written BENCH JSON:
                                    "preloaded_pairs": 9486,
                                    "warm_hits": 9486, "cold_hits": 27,
                                    "repaired_bytes": 0}},
+          "shard": {"workers": 4,
+                    "shard_map": {"0": 0, "1": 1, "2": 2},
+                    "per_worker": [{"worker": 0, "shards": 1,
+                                    "wall_seconds": 0.21,
+                                    "eval_seconds": 0.004}]},
           "telemetry": {"spans": {"trust_region.refit":
                                   {"count": 54, "seconds": 0.12}},
                         "events": {"campaign.solved": 3}},
@@ -97,14 +107,16 @@ from repro.search.optimizer import available_optimizers
 from repro.search.progressive import REFIT_MODES, ProgressiveConfig, ProgressiveResult
 from repro.search.sizing import size_problem
 
-SCHEMA = "repro.bench/v7"
+SCHEMA = "repro.bench/v8"
 
 module_logger = logging.getLogger(__name__)
 
 #: How a case's seeds execute: ``campaign`` batches all seeds through
 #: shared vectorized corner passes, ``sequential`` runs one
-#: :func:`size_problem` per seed (the bit-exact oracle path).
-EXECUTIONS = ("campaign", "sequential")
+#: :func:`size_problem` per seed (the bit-exact oracle path), ``sharded``
+#: partitions the seeds across spawned worker processes (bit-identical
+#: per seed to ``sequential``; see :mod:`repro.shard`).
+EXECUTIONS = ("campaign", "sequential", "sharded")
 
 def _per_seed_record(seed: int, result: ProgressiveResult) -> Dict[str, Any]:
     record: Dict[str, Any] = {"seed": int(seed)}
@@ -153,34 +165,46 @@ def run_case(
     resume: bool = False,
     cache_dir: Optional[str] = None,
     refit_mode: Optional[str] = None,
+    workers: Optional[int] = None,
+    worker_trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one benchmark case across seeds and aggregate the statistics.
 
     ``backend``, ``corner_engine``, ``optimizer`` and ``refit_mode``
     override the case's configuration when given (``None`` defers to the
     case, which defers to the library defaults).  ``execution`` selects the
-    multi-seed vectorized campaign (default) or the sequential per-seed
-    oracle; the two are bit-exact per seed and differ only in evaluator
-    batching.  ``refit_mode`` likewise trades dispatch only: ``"batched"``
-    trains all live seeds' surrogate refits through one stacked kernel per
-    round, ``"sequential"`` refits inline, bit-identically.
+    multi-seed vectorized campaign (default), the sequential per-seed
+    oracle, or sharded multi-process execution (``workers`` processes via
+    :class:`repro.shard.ShardedExecutor`); all three are bit-exact per
+    seed and differ only in evaluator batching and process placement.
+    ``refit_mode`` likewise trades dispatch only: ``"batched"`` trains all
+    live seeds' surrogate refits through one stacked kernel per round,
+    ``"sequential"`` refits inline, bit-identically.
 
-    The resilience options are campaign-execution only.  ``checkpoint_dir``
-    snapshots the campaign under ``<dir>/<case-slug>/`` after every round;
-    ``resume=True`` restores from that snapshot first (a resumed run is
-    bit-identical to an uninterrupted one); ``cache_dir`` persists the
-    evaluation cache at ``<dir>/<case-slug>.evc`` for cross-process warm
-    starts.
+    The resilience options need round boundaries, so they work under the
+    campaign and sharded executions but not the sequential oracle.
+    ``checkpoint_dir`` snapshots under ``<dir>/<case-slug>/`` after every
+    round (sharded: one subdirectory per shard); ``resume=True`` restores
+    from those snapshots first (a resumed run is bit-identical to an
+    uninterrupted one); ``cache_dir`` persists the evaluation cache at
+    ``<dir>/<case-slug>.evc`` for cross-process warm starts (sharded:
+    workers warm-load the master read-only and the parent merges their
+    private shard stores back after the run).  ``worker_trace_dir``
+    (sharded only) gives each worker a ``worker-K.jsonl`` trace sink under
+    ``<dir>/<case-slug>/``.
     """
     if execution not in EXECUTIONS:
         raise ValueError(
             f"unknown execution {execution!r}; available: {', '.join(EXECUTIONS)}"
         )
-    if execution != "campaign" and (checkpoint_dir or resume or cache_dir):
+    if execution == "sequential" and (checkpoint_dir or resume or cache_dir):
         raise ValueError(
-            "checkpoint/resume/cache-dir need the campaign execution; the "
-            "sequential oracle path has no round boundaries to snapshot at"
+            "checkpoint/resume/cache-dir need the campaign or sharded "
+            "execution; the sequential oracle path has no round boundaries "
+            "to snapshot at"
         )
+    if execution != "sharded" and (workers is not None or worker_trace_dir):
+        raise ValueError("workers/worker_trace_dir need the sharded execution")
     if resume and not checkpoint_dir:
         raise ValueError("resume=True needs checkpoint_dir")
     problem_cls = get_topology(case.topology)
@@ -255,6 +279,103 @@ def run_case(
                 "refit_rounds": outcome.refit_rounds,
                 "batched_kernel_calls": outcome.batched_kernel_calls,
             }
+            shard_block: Optional[Dict[str, Any]] = None
+        elif execution == "sharded":
+            # Imported lazily: the bench registry must stay importable
+            # without pulling the executor (and its topology imports) in.
+            from repro.shard import ShardedExecutor
+
+            cache_path = (
+                os.path.join(cache_dir, f"{case.slug}.evc") if cache_dir else None
+            )
+            if cache_dir:
+                os.makedirs(cache_dir, exist_ok=True)
+            specs = case.shard_specs(
+                seeds,
+                backend=backend,
+                corner_engine=corner_engine,
+                optimizer=effective_optimizer,
+                refit_mode=refit_mode,
+            )
+            executor = ShardedExecutor(
+                specs,
+                workers=workers,
+                cache_path=cache_path,
+                checkpoint_dir=(
+                    os.path.join(checkpoint_dir, case.slug) if checkpoint_dir else None
+                ),
+                resume=resume,
+                trace_dir=(
+                    os.path.join(worker_trace_dir, case.slug)
+                    if worker_trace_dir
+                    else None
+                ),
+            )
+            outcome = executor.run()
+            results = outcome.results
+            eval_block = {
+                "engine_calls": outcome.engine_calls,
+                "rounds": outcome.rounds,
+                "cache_hits": outcome.cache_hits,
+                "cache_misses": outcome.cache_misses,
+            }
+            eval_seconds = outcome.eval_seconds
+            refit_counts = {
+                "refit_rounds": outcome.refit_rounds,
+                "batched_kernel_calls": outcome.batched_kernel_calls,
+            }
+            resilience = {
+                # Per-shard resume rounds live in the shard block's domain;
+                # the campaign-level field stays None unless every shard
+                # resumed (then the earliest round is the honest summary).
+                "resumed_from_round": (
+                    min(shard.resumed_from_round for shard in outcome.shards)
+                    if all(
+                        shard.resumed_from_round is not None
+                        for shard in outcome.shards
+                    )
+                    else None
+                ),
+                "cache": (
+                    {
+                        "path": cache_path,
+                        "preloaded_pairs": sum(
+                            shard.cache_counters["preloaded_pairs"]
+                            for shard in outcome.shards
+                        ),
+                        "warm_hits": sum(
+                            shard.cache_counters["warm_hits"]
+                            for shard in outcome.shards
+                        ),
+                        "cold_hits": sum(
+                            shard.cache_counters["cold_hits"]
+                            for shard in outcome.shards
+                        ),
+                        "repaired_bytes": sum(
+                            shard.cache_counters["repaired_bytes"]
+                            for shard in outcome.shards
+                        ),
+                    }
+                    if cache_path
+                    else None
+                ),
+            }
+            shard_block = {
+                "workers": outcome.workers,
+                "shard_map": {
+                    str(specs[index].seed): worker
+                    for index, worker in outcome.shard_map.items()
+                },
+                "per_worker": [
+                    {
+                        "worker": record["worker"],
+                        "shards": record["shards"],
+                        "wall_seconds": round(record["wall_seconds"], 6),
+                        "eval_seconds": round(record["eval_seconds"], 6),
+                    }
+                    for record in outcome.per_worker
+                ],
+            }
         else:
             results = []
             for seed in seeds:
@@ -286,6 +407,7 @@ def run_case(
             # Round-level counters are campaign-wide quantities; the
             # one-seed-at-a-time oracle path has no shared rounds to count.
             refit_counts = {"refit_rounds": None, "batched_kernel_calls": None}
+            shard_block = None
     wall = wall_timer.seconds
 
     per_seed = [_per_seed_record(seed, result) for seed, result in zip(seeds, results)]
@@ -316,6 +438,7 @@ def run_case(
             "refit_mode": effective_refit_mode,
         },
         "resilience": resilience,
+        "shard": shard_block,
         "telemetry": _case_telemetry(metrics_before),
         "per_seed": per_seed,
     }
@@ -337,8 +460,10 @@ def run_suite(
     resume: bool = False,
     cache_dir: Optional[str] = None,
     refit_mode: Optional[str] = None,
+    workers: Optional[int] = None,
+    worker_trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run every case of a suite; returns the ``repro.bench/v7`` payload."""
+    """Run every case of a suite; returns the ``repro.bench/v8`` payload."""
     cases = get_suite(suite)
     module_logger.info("suite %r: %d case(s)", suite, len(cases))
     with profiled("bench.run_suite", suite=suite, cases=len(cases)) as wall_timer:
@@ -354,6 +479,8 @@ def run_suite(
                 resume=resume,
                 cache_dir=cache_dir,
                 refit_mode=refit_mode,
+                workers=workers,
+                worker_trace_dir=worker_trace_dir,
             )
             for case in cases
         ]
@@ -528,6 +655,126 @@ def refit_cross_check(
     return 0 if parity else 1
 
 
+#: Schema of the ``--shard-scaling`` artifact (``BENCH_shard.json``).
+SHARD_CHECK_SCHEMA = "repro.bench.shard/v1"
+
+#: Per-seed fields the shard-scaling parity gate byte-compares across
+#: worker counts: the full search outcome minus wall-clock timing.
+_SHARD_PARITY_KEYS = (
+    "seed",
+    "solved",
+    "evaluations",
+    "phases",
+    "engine_calls",
+    "cache_hits",
+    "cache_misses",
+    "failing_corners",
+    "best_sizing",
+)
+
+
+def shard_scaling(
+    suite: str = "smoke",
+    seeds: int = 16,
+    workers_list: Sequence[int] = (1, 2, 4, 8),
+    output: Optional[str] = None,
+) -> int:
+    """Sharded scaling curve + parity gate; returns a process exit code.
+
+    Runs the whole ``suite`` once per worker count in ``workers_list``
+    (``--execution sharded``) and checks the tentpole guarantee: every
+    (case, seed) outcome must be **bit-identical across worker counts** —
+    same winning sizings, evaluation counts, cache accounting and solved
+    verdicts (the ``workers=1`` run is itself locked to the sequential
+    oracle by the determinism auditor's sharded mode).  The wall-time
+    curve and per-count speedups over ``workers=1`` are reported alongside
+    (and written to ``output``, default ``BENCH_shard.json``); the speedup
+    is informational, not gating — it tracks the host's core count
+    (recorded in the artifact as ``host.cpu_count``), and wall-clock
+    ratios flake on shared runners while bits don't.
+    """
+    seed_range = range(seeds)
+    runs: List[Dict[str, Any]] = []
+    for workers in workers_list:
+        payload = run_suite(
+            suite, seeds=seed_range, execution="sharded", workers=workers
+        )
+        runs.append(payload)
+        module_logger.info(
+            "shard-scaling %r workers=%d: %.3fs wall",
+            suite,
+            workers,
+            payload["totals"]["wall_seconds"],
+        )
+    mismatches: List[str] = []
+    baseline = runs[0]
+    for payload, workers in zip(runs[1:], list(workers_list)[1:]):
+        for base_case, case in zip(baseline["cases"], payload["cases"]):
+            for base_seed, seed_record in zip(
+                base_case["per_seed"], case["per_seed"]
+            ):
+                if any(
+                    base_seed[key] != seed_record[key] for key in _SHARD_PARITY_KEYS
+                ):
+                    mismatches.append(
+                        f"{case['name']} seed {seed_record['seed']} "
+                        f"(workers {workers_list[0]} vs {workers})"
+                    )
+    parity = not mismatches
+    for mismatch in mismatches:
+        module_logger.error("shard-scaling diverged: %s", mismatch)
+    base_wall = baseline["totals"]["wall_seconds"]
+    curve = [
+        {
+            "workers": workers,
+            "wall_seconds": payload["totals"]["wall_seconds"],
+            "speedup": (
+                round(base_wall / payload["totals"]["wall_seconds"], 3)
+                if payload["totals"]["wall_seconds"]
+                else None
+            ),
+            "cases": [
+                {
+                    "name": case["name"],
+                    "wall_seconds": case["wall_seconds"],
+                    "success_rate": case["success_rate"],
+                    "shard": case["shard"],
+                }
+                for case in payload["cases"]
+            ],
+        }
+        for workers, payload in zip(workers_list, runs)
+    ]
+    artifact_path = output or "BENCH_shard.json"
+    write_bench_json(
+        {
+            "schema": SHARD_CHECK_SCHEMA,
+            "suite": suite,
+            "seeds": list(seed_range),
+            "workers": list(workers_list),
+            "parity": parity,
+            # Speedup is bounded by the physical cores the run actually
+            # had; recorded so scaling curves from different hosts compare
+            # honestly.
+            "host": {"cpu_count": os.cpu_count() or 1},
+            "scaling": curve,
+        },
+        artifact_path,
+    )
+    module_logger.info("wrote %s", artifact_path)
+    # The verdict is the machine-readable output; it stays on stdout.
+    summary = ", ".join(
+        f"w={entry['workers']}: {entry['wall_seconds']:.2f}s"
+        + (f" ({entry['speedup']:.2f}x)" if entry["speedup"] else "")
+        for entry in curve
+    )
+    print(
+        f"shard-scaling {'PASS' if parity else 'FAIL'} "
+        f"({seeds} seeds, {summary})"
+    )
+    return 0 if parity else 1
+
+
 def format_summary(payload: Dict[str, Any]) -> str:
     """Human-readable one-line-per-case table for CLI output."""
     lines = [
@@ -645,7 +892,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=EXECUTIONS,
         help="how a case's seeds run: 'campaign' (default) batches all "
         "seeds through shared vectorized corner passes, 'sequential' runs "
-        "one seed at a time (bit-exact per seed, more evaluator calls)",
+        "one seed at a time (bit-exact per seed, more evaluator calls), "
+        "'sharded' partitions seeds across spawned worker processes "
+        "(bit-identical per seed to sequential; see --workers)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker process count for --execution sharded (default: the "
+        "host CPU count; 1 runs every shard in-process, bit-for-bit equal "
+        "to spawned execution)",
     )
     parser.add_argument(
         "--refit-mode",
@@ -669,6 +927,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mode and verify per-seed trajectory parity (batched vs "
         "sequential); --seeds sets the fleet size (default 8), --output "
         "writes the speedup artifact",
+    )
+    parser.add_argument(
+        "--shard-scaling",
+        action="store_true",
+        help="instead of running the suite once, run it at every "
+        "--workers-list count under --execution sharded and verify "
+        "per-seed bit-parity across worker counts; --seeds sets the fleet "
+        "size (default 16), --output writes the scaling artifact "
+        "(default BENCH_shard.json)",
+    )
+    parser.add_argument(
+        "--workers-list",
+        default="1,2,4,8",
+        metavar="N,N,...",
+        help="comma-separated worker counts for --shard-scaling "
+        "(default: 1,2,4,8)",
     )
     parser.add_argument(
         "--trace",
@@ -712,8 +986,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_listing())
         return 2
 
-    if args.cross_check and args.refit_cross_check:
-        parser.error("--cross-check and --refit-cross-check are exclusive")
+    if sum((args.cross_check, args.refit_cross_check, args.shard_scaling)) > 1:
+        parser.error(
+            "--cross-check, --refit-cross-check and --shard-scaling are exclusive"
+        )
     if args.cross_check:
         # The guard has its own fixed protocol (one seed, both backends, no
         # artifact); reject flags it would silently ignore.
@@ -729,6 +1005,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--trace", args.trace),
                 ("--checkpoint-dir", args.checkpoint_dir),
                 ("--cache-dir", args.cache_dir),
+                ("--workers", args.workers),
             )
             if value is not None
         ]
@@ -752,6 +1029,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--trace", args.trace),
                 ("--checkpoint-dir", args.checkpoint_dir),
                 ("--cache-dir", args.cache_dir),
+                ("--workers", args.workers),
             )
             if value is not None
         ]
@@ -765,20 +1043,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if seeds < 1:
             parser.error("--seeds must be at least 1")
         return refit_cross_check(args.suite, seeds=seeds, output=args.output)
+    if args.shard_scaling:
+        # Fixed protocol: the suite at every worker count, sharded
+        # execution, library-default knobs (the single-knob overrides
+        # belong to the determinism auditor's sharded mode).
+        dropped = [
+            flag
+            for flag, value in (
+                ("--backend", args.backend),
+                ("--corner-engine", args.corner_engine),
+                ("--optimizer", args.optimizer),
+                ("--refit-mode", args.refit_mode),
+                ("--trace", args.trace),
+                ("--checkpoint-dir", args.checkpoint_dir),
+                ("--cache-dir", args.cache_dir),
+                ("--workers", args.workers),
+            )
+            if value is not None
+        ]
+        if args.fail_under:
+            dropped.append("--fail-under")
+        if args.resume:
+            dropped.append("--resume")
+        if args.execution != "campaign":
+            dropped.append("--execution")
+        if dropped:
+            parser.error(f"--shard-scaling does not accept {', '.join(dropped)}")
+        try:
+            workers_list = [int(item) for item in args.workers_list.split(",")]
+        except ValueError:
+            parser.error("--workers-list must be comma-separated integers")
+        if not workers_list or any(workers < 1 for workers in workers_list):
+            parser.error("--workers-list counts must be at least 1")
+        seeds = 16 if args.seeds is None else args.seeds
+        if seeds < 1:
+            parser.error("--seeds must be at least 1")
+        return shard_scaling(
+            args.suite, seeds=seeds, workers_list=workers_list, output=args.output
+        )
 
     seeds = 3 if args.seeds is None else args.seeds
     if seeds < 1:
         parser.error("--seeds must be at least 1")
     if not 0.0 <= args.fail_under <= 1.0:
         parser.error("--fail-under must be within [0, 1]")
-    if args.execution != "campaign" and (
+    if args.execution == "sequential" and (
         args.checkpoint_dir or args.resume or args.cache_dir
     ):
         parser.error(
-            "--checkpoint-dir/--resume/--cache-dir need --execution campaign"
+            "--checkpoint-dir/--resume/--cache-dir need --execution "
+            "campaign or sharded"
         )
+    if args.workers is not None and args.execution != "sharded":
+        parser.error("--workers needs --execution sharded")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume needs --checkpoint-dir")
+    # A sharded traced run gives every worker its own sink next to the
+    # parent's; 'python -m repro.obs report <PATH>.workers' merges them.
+    worker_trace_dir = (
+        f"{args.trace}.workers"
+        if args.trace and args.execution == "sharded"
+        else None
+    )
 
     def _run() -> Dict[str, Any]:
         return run_suite(
@@ -792,6 +1120,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             resume=args.resume,
             cache_dir=args.cache_dir,
             refit_mode=args.refit_mode,
+            workers=args.workers,
+            worker_trace_dir=worker_trace_dir,
         )
 
     if args.trace:

@@ -45,6 +45,7 @@ def _cmd_drill(args: argparse.Namespace) -> int:
         seeds=range(args.seeds),
         occurrences=occurrences,
         workdir=args.workdir,
+        worker_kill=not args.skip_worker_kill,
     )
     print(report.format())
     return 0 if report.ok else 1
@@ -100,6 +101,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="DIR",
         help="directory for per-scenario checkpoints and cache stores, "
         "kept for inspection (default: drill-workdir)",
+    )
+    drill.add_argument(
+        "--skip-worker-kill",
+        action="store_true",
+        help="skip the multi-process scenarios that SIGKILL a sharded "
+        "worker mid-run and resume its shard (default: run them after "
+        "the in-process fault sites)",
     )
     add_logging_flags(drill)
     drill.set_defaults(func=_cmd_drill)

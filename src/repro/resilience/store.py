@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +53,135 @@ SITE_CACHE_APPEND = register_fault_site("cache.append")
 
 class StoreError(RuntimeError):
     """The store file belongs to a different workload or is not a store."""
+
+
+def _check_header(path: str, header: bytes, dimension: int, n_metrics: int) -> None:
+    """Raise :class:`StoreError` unless ``header`` pins this workload."""
+    if not header.startswith(MAGIC):
+        raise StoreError(f"{path!r} is not an evaluation-cache store")
+    body = header[len(MAGIC) : len(MAGIC) + _HEADER_BODY.size]
+    (crc,) = _HEADER_CRC.unpack(header[len(MAGIC) + _HEADER_BODY.size :])
+    if zlib.crc32(body) != crc:
+        raise StoreError(f"{path!r} has a corrupt store header")
+    version, file_dimension, file_n_metrics = _HEADER_BODY.unpack(body)
+    if version != VERSION:
+        raise StoreError(
+            f"{path!r} is store format v{version}, expected v{VERSION}"
+        )
+    if file_dimension != dimension or file_n_metrics != n_metrics:
+        raise StoreError(
+            f"{path!r} was written for dimension={file_dimension}, "
+            f"n_metrics={file_n_metrics}; this workload has "
+            f"dimension={dimension}, n_metrics={n_metrics}"
+        )
+
+
+def _parse_payload(
+    payload: bytes, key_width: int, row_width: int, n_metrics: int
+) -> "Tuple[bytes, bytes, np.ndarray] | None":
+    (tag_length,) = _TAG_LEN.unpack(payload[: _TAG_LEN.size])
+    key_start = _TAG_LEN.size + tag_length
+    row_start = key_start + key_width
+    if len(payload) != row_start + row_width:
+        return None
+    tag = payload[_TAG_LEN.size : key_start]
+    key = payload[key_start:row_start]
+    # A view into the (immutable) payload bytes: read-only by
+    # construction, matching the cache's frozen-row invariant.
+    row = np.frombuffer(payload, dtype=np.float64, count=n_metrics, offset=row_start)
+    return tag, key, row
+
+
+def _scan_frames(
+    handle, key_width: int, row_width: int, n_metrics: int
+) -> Tuple[List[Tuple[bytes, bytes, np.ndarray]], int]:
+    """Read frames (from just past the header) until EOF or damage.
+
+    Returns ``(records, good_offset)`` where ``good_offset`` is the file
+    offset of the last frame boundary every record before it ends on.
+    """
+    records: List[Tuple[bytes, bytes, np.ndarray]] = []
+    offset = HEADER_SIZE
+    min_payload = _TAG_LEN.size + key_width + row_width
+    while True:
+        length_bytes = handle.read(_FRAME_LEN.size)
+        if len(length_bytes) < _FRAME_LEN.size:
+            break  # clean EOF, or a tail torn inside the length field
+        (length,) = _FRAME_LEN.unpack(length_bytes)
+        payload = handle.read(length)
+        crc_bytes = handle.read(_FRAME_CRC.size)
+        if (
+            length < min_payload
+            or len(payload) < length
+            or len(crc_bytes) < _FRAME_CRC.size
+            or zlib.crc32(payload) != _FRAME_CRC.unpack(crc_bytes)[0]
+        ):
+            break  # torn/corrupt frame: everything after it is the tail
+        record = _parse_payload(payload, key_width, row_width, n_metrics)
+        if record is None:
+            break
+        records.append(record)
+        offset += _FRAME_LEN.size + length + _FRAME_CRC.size
+    return records, offset
+
+
+def read_records(
+    path: str, dimension: int, n_metrics: int
+) -> Tuple[List[Tuple[bytes, bytes, np.ndarray]], int]:
+    """Read-only scan of a store file: the good records, without repair.
+
+    Unlike constructing a :class:`CacheStore`, nothing is truncated and no
+    write handle is taken, so this is safe on a file another process still
+    owns — a torn tail (if any) is simply not yielded.  Returns
+    ``(records, trailing_bytes)`` where ``trailing_bytes`` counts what a
+    writer's repair pass would trim.
+    """
+    key_width = int(dimension) * 8
+    row_width = int(n_metrics) * 8
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        header = handle.read(HEADER_SIZE)
+        if len(header) < HEADER_SIZE:
+            raise StoreError(f"{path!r} is truncated inside the store header")
+        _check_header(path, header, int(dimension), int(n_metrics))
+        records, good_offset = _scan_frames(handle, key_width, row_width, n_metrics)
+    return records, size - good_offset
+
+
+def merge_stores(
+    target_path: str,
+    shard_paths: "Sequence[str]",
+    dimension: int,
+    n_metrics: int,
+) -> int:
+    """Merge per-shard store files into one master store, deduplicated.
+
+    The sharded executor gives every shard its own single-writer store
+    file (preserving the append-only/torn-tail-repair invariant — no
+    cross-process locking) and the parent replays them into the master
+    after all workers have exited.  Shards are replayed **in the given
+    order** and a ``(tag, key)`` pair already present in the master or an
+    earlier shard is skipped: the parity locks guarantee duplicate pairs
+    carry bit-identical rows, so first-write-wins is exact, and the merged
+    file's record sequence is deterministic.  Returns the number of
+    records appended.
+    """
+    target = CacheStore(target_path, dimension, n_metrics)
+    try:
+        seen = {(tag, key) for tag, key, _ in target.records}
+        appended = 0
+        for path in shard_paths:
+            records, _ = read_records(path, dimension, n_metrics)
+            for tag, key, row in records:
+                if (tag, key) in seen:
+                    continue
+                seen.add((tag, key))
+                target.append(tag, key, row)
+                appended += 1
+        target.flush()
+    finally:
+        target.close()
+    return appended
 
 
 class CacheStore:
@@ -117,61 +246,15 @@ class CacheStore:
         return MAGIC + body + _HEADER_CRC.pack(zlib.crc32(body))
 
     def _validate_header(self, header: bytes) -> None:
-        if not header.startswith(MAGIC):
-            raise StoreError(f"{self.path!r} is not an evaluation-cache store")
-        body = header[len(MAGIC) : len(MAGIC) + _HEADER_BODY.size]
-        (crc,) = _HEADER_CRC.unpack(header[len(MAGIC) + _HEADER_BODY.size :])
-        if zlib.crc32(body) != crc:
-            raise StoreError(f"{self.path!r} has a corrupt store header")
-        version, dimension, n_metrics = _HEADER_BODY.unpack(body)
-        if version != VERSION:
-            raise StoreError(
-                f"{self.path!r} is store format v{version}, expected v{VERSION}"
-            )
-        if dimension != self._dimension or n_metrics != self._n_metrics:
-            raise StoreError(
-                f"{self.path!r} was written for dimension={dimension}, "
-                f"n_metrics={n_metrics}; this workload has "
-                f"dimension={self._dimension}, n_metrics={self._n_metrics}"
-            )
+        _check_header(self.path, header, self._dimension, self._n_metrics)
 
     def _scan(self, handle) -> int:
         """Read frames until EOF or damage; return the last good offset."""
-        offset = HEADER_SIZE
-        min_payload = _TAG_LEN.size + self._key_width + self._row_width
-        while True:
-            length_bytes = handle.read(_FRAME_LEN.size)
-            if len(length_bytes) < _FRAME_LEN.size:
-                break  # clean EOF, or a tail torn inside the length field
-            (length,) = _FRAME_LEN.unpack(length_bytes)
-            payload = handle.read(length)
-            crc_bytes = handle.read(_FRAME_CRC.size)
-            if (
-                length < min_payload
-                or len(payload) < length
-                or len(crc_bytes) < _FRAME_CRC.size
-                or zlib.crc32(payload) != _FRAME_CRC.unpack(crc_bytes)[0]
-            ):
-                break  # torn/corrupt frame: everything after it is the tail
-            record = self._parse(payload)
-            if record is None:
-                break
-            self.records.append(record)
-            offset += _FRAME_LEN.size + length + _FRAME_CRC.size
+        records, offset = _scan_frames(
+            handle, self._key_width, self._row_width, self._n_metrics
+        )
+        self.records.extend(records)
         return offset
-
-    def _parse(self, payload: bytes) -> "Tuple[bytes, bytes, np.ndarray] | None":
-        (tag_length,) = _TAG_LEN.unpack(payload[: _TAG_LEN.size])
-        key_start = _TAG_LEN.size + tag_length
-        row_start = key_start + self._key_width
-        if len(payload) != row_start + self._row_width:
-            return None
-        tag = payload[_TAG_LEN.size : key_start]
-        key = payload[key_start:row_start]
-        # A view into the (immutable) payload bytes: read-only by
-        # construction, matching the cache's frozen-row invariant.
-        row = np.frombuffer(payload, dtype=np.float64, count=self._n_metrics, offset=row_start)
-        return tag, key, row
 
     # -- appends --------------------------------------------------------
     def append(self, tag: bytes, key: bytes, metrics: np.ndarray) -> None:

@@ -483,6 +483,10 @@ class Campaign:
         appended there and preloaded on construction, so a resumed or
         repeated campaign over the same workload warm-starts across
         processes (see ``EvaluationCache(persist_path=...)``).
+    cache_preload:
+        Extra store files warm-loaded read-only (no repair, no write
+        handle) — how a sharded worker shares the master store while
+        appending its own pairs to ``cache_path``.
     """
 
     def __init__(
@@ -493,6 +497,7 @@ class Campaign:
         config: Union[TrustRegionConfig, ProgressiveConfig, None] = None,
         seeds: Optional[Sequence[int]] = None,
         cache_path: Optional[str] = None,
+        cache_preload: Sequence[str] = (),
     ) -> None:
         self.handle = handle
         self.progressive = _as_progressive_config(config, None)
@@ -527,6 +532,7 @@ class Campaign:
             handle.design_space.dimension,
             len(handle.metric_names),
             persist_path=cache_path,
+            preload_paths=cache_preload,
         )
         self.refit_mode = self.progressive.refit_mode
         self._members = [

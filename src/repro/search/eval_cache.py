@@ -42,7 +42,7 @@ from repro.analysis.contracts import ArraySpec, SeqLen, contract
 from repro.circuits.pvt import PVTCondition
 from repro.obs import event, profiled
 from repro.resilience.faults import fault_point, register_fault_site
-from repro.resilience.store import CacheStore
+from repro.resilience.store import CacheStore, read_records
 
 #: A corner evaluator maps ``(count, dim)`` sizings and a corner list to a
 #: ``(n_corners, count, n_metrics)`` metric block.
@@ -92,6 +92,12 @@ class EvaluationCache:
         record the store holds (repairing a torn tail from a crashed
         writer, see :class:`~repro.resilience.store.CacheStore`) and
         appends every newly computed pair, so hits survive the process.
+    preload_paths:
+        Extra store files to warm-load **read-only** — no write handle is
+        taken and no torn tail is repaired, so another process may still
+        own them.  The sharded executor points every worker's cache at the
+        shared master store this way while the worker appends its own
+        fresh pairs to a private per-shard file.
 
     Attributes
     ----------
@@ -120,6 +126,7 @@ class EvaluationCache:
         dimension: int,
         n_metrics: int,
         persist_path: Optional[str] = None,
+        preload_paths: Sequence[str] = (),
     ) -> None:
         self._evaluate = corner_evaluator
         self._key_width = int(dimension) * np.dtype(np.float64).itemsize
@@ -144,20 +151,31 @@ class EvaluationCache:
         if persist_path is not None:
             self._backend = CacheStore(persist_path, int(dimension), self.n_metrics)
             self.repaired_bytes = self._backend.repaired_bytes
-            corners_by_tag: Dict[bytes, PVTCondition] = {}
-            for tag, key, row in self._backend.records:
-                corner = corners_by_tag.get(tag)
-                if corner is None:
-                    corner = corners_by_tag.setdefault(tag, _corner_from_tag(tag))
-                self._store.setdefault(corner, {})[key] = row
-                self._warm.setdefault(corner, set()).add(key)
+            self._ingest(self._backend.records)
+        for path in preload_paths:
+            records, _trailing = read_records(path, int(dimension), self.n_metrics)
+            self._ingest(records)
+        if persist_path is not None or preload_paths:
             self.preloaded_pairs = len(self)
             event(
                 "eval_cache.warm_load",
                 path=persist_path,
+                preloads=len(preload_paths),
                 pairs=self.preloaded_pairs,
                 repaired_bytes=self.repaired_bytes,
             )
+
+    def _ingest(
+        self, records: Sequence[Tuple[bytes, bytes, np.ndarray]]
+    ) -> None:
+        """Warm-load ``(tag, key, row)`` store records, in record order."""
+        corners_by_tag: Dict[bytes, PVTCondition] = {}
+        for tag, key, row in records:
+            corner = corners_by_tag.get(tag)
+            if corner is None:
+                corner = corners_by_tag.setdefault(tag, _corner_from_tag(tag))
+            self._store.setdefault(corner, {})[key] = row
+            self._warm.setdefault(corner, set()).add(key)
 
     def __len__(self) -> int:
         """Total number of cached ``(row, corner)`` pairs."""

@@ -1,0 +1,28 @@
+"""Sharded multi-process campaign execution with bit-identical parity.
+
+Partition a multi-seed run into (workload, seed) shards, run each shard
+as its own single-seed campaign in a spawned worker process, and merge
+results, metrics and cache state back in the parent — with hard parity
+locks making the sharded run byte-identical per seed to a sequential one.
+See :mod:`repro.shard.executor` for the design rationale and
+:mod:`repro.shard.parity` for the oracles that verify it.
+"""
+
+from repro.shard.executor import (
+    ShardedExecutor,
+    ShardResult,
+    ShardRunOutcome,
+    ShardSpec,
+    ShardWorkerError,
+)
+from repro.shard.parity import run_sequential, union_state_digest
+
+__all__ = [
+    "ShardResult",
+    "ShardRunOutcome",
+    "ShardSpec",
+    "ShardWorkerError",
+    "ShardedExecutor",
+    "run_sequential",
+    "union_state_digest",
+]

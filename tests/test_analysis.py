@@ -182,6 +182,34 @@ CORPUS = [
         "    with open(path, 'rb') as handle:\n"
         "        return handle.read()\n",
     ),
+    (
+        "spawn-unsafe",
+        "import multiprocessing\n"
+        "def launch(run):\n"
+        "    return multiprocessing.Process(target=run)\n",
+        "import multiprocessing\n"
+        "def launch(run):\n"
+        "    context = multiprocessing.get_context('spawn')\n"
+        "    return context.Process(target=run)\n",
+    ),
+    (
+        "spawn-unsafe",
+        "import multiprocessing as mp\n"
+        "def pool():\n"
+        "    return mp.get_context().Pool(2)\n",
+        "import multiprocessing as mp\n"
+        "def pool():\n"
+        "    return mp.get_context('spawn').Pool(2)\n",
+    ),
+    (
+        "spawn-unsafe",
+        "from multiprocessing import Process\n"
+        "def launch(run):\n"
+        "    return Process(target=run)\n",
+        "from multiprocessing import get_context\n"
+        "def launch(run):\n"
+        "    return get_context('spawn').Process(target=run)\n",
+    ),
 ]
 
 

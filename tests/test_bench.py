@@ -147,7 +147,7 @@ class TestRunner:
 
     def test_suite_payload_and_artifact(self, tmp_path):
         payload = run_suite("tiny", seeds=[0])
-        assert payload["schema"] == SCHEMA == "repro.bench/v7"
+        assert payload["schema"] == SCHEMA == "repro.bench/v8"
         assert payload["suite"] == "tiny"
         assert payload["seeds"] == [0]
         assert payload["backend"] == "fused"

@@ -345,8 +345,10 @@ class TestDrill:
         )
         assert report.ok, report.format()
         # Occurrence 1 of every registered site is reached on the drill
-        # workload — each fault actually fired and each resume matched.
-        assert report.fired_count == len(registered_fault_sites())
+        # workload — each fault actually fired and each resume matched —
+        # plus the multi-process worker-kill scenario (one per occurrence).
+        assert report.fired_count == len(registered_fault_sites()) + 1
+        assert any(o.site == "worker.kill" for o in report.outcomes)
         assert "byte-identical" in report.format()
 
     def test_cli_sites_lists_registry(self, capsys):
@@ -359,11 +361,11 @@ class TestDrill:
 
 
 class TestBenchResilienceIntegration:
-    def test_v7_payload_reports_warm_cache_hits(self, tmp_path):
+    def test_v8_payload_reports_warm_cache_hits(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
         cold = run_suite("tiny", seeds=[0], cache_dir=cache_dir)
         warm = run_suite("tiny", seeds=[0], cache_dir=cache_dir)
-        assert cold["schema"] == "repro.bench/v7"
+        assert cold["schema"] == "repro.bench/v8"
         cold_block = cold["cases"][0]["resilience"]["cache"]
         warm_block = warm["cases"][0]["resilience"]["cache"]
         assert cold_block["warm_hits"] == 0
